@@ -1,0 +1,61 @@
+// Command deact-report regenerates every table and figure of the paper's
+// evaluation and writes the paper-vs-measured report (EXPERIMENTS.md).
+//
+// Usage:
+//
+//	deact-report -out EXPERIMENTS.md
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deact/internal/experiments"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
+		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core")
+		measure = flag.Uint64("measure", 60_000, "measured instructions per core")
+		cores   = flag.Int("cores", 2, "cores per node")
+		seed    = flag.Int64("seed", 42, "random seed")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	w := bufio.NewWriter(os.Stdout)
+	var f *os.File
+	if *out != "-" {
+		var err error
+		f, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deact-report:", err)
+			os.Exit(1)
+		}
+		w = bufio.NewWriter(f)
+	}
+	if err := experiments.Report(w, opts); err != nil {
+		fmt.Fprintln(os.Stderr, "deact-report:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "deact-report:", err)
+		os.Exit(1)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "deact-report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

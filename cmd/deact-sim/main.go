@@ -1,0 +1,92 @@
+// Command deact-sim runs one benchmark under one FAM virtual-memory scheme
+// and prints the measured metrics.
+//
+// Usage:
+//
+//	deact-sim -scheme deact-n -bench canl -nodes 1 -cores 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deact/internal/core"
+	"deact/internal/sim"
+	"deact/internal/workload"
+)
+
+func parseScheme(s string) (core.Scheme, error) {
+	switch strings.ToLower(s) {
+	case "e-fam", "efam":
+		return core.EFAM, nil
+	case "i-fam", "ifam":
+		return core.IFAM, nil
+	case "deact-w", "deactw":
+		return core.DeACTW, nil
+	case "deact-n", "deactn", "deact":
+		return core.DeACTN, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want e-fam, i-fam, deact-w or deact-n)", s)
+	}
+}
+
+func main() {
+	var (
+		schemeFlag = flag.String("scheme", "deact-n", "virtual-memory scheme: e-fam, i-fam, deact-w, deact-n")
+		bench      = flag.String("bench", "mcf", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
+		nodes      = flag.Int("nodes", 1, "compute nodes sharing the fabric")
+		cores      = flag.Int("cores", 4, "cores per node")
+		warmup     = flag.Uint64("warmup", 80_000, "warmup instructions per core")
+		measure    = flag.Uint64("measure", 60_000, "measured instructions per core")
+		seed       = flag.Int64("seed", 42, "random seed")
+		stuSize    = flag.Int("stu", 1024, "STU cache entries")
+		fabricNS   = flag.Uint64("fabric-ns", 500, "fabric one-way latency in nanoseconds")
+		verbose    = flag.Bool("v", false, "print per-node counters")
+	)
+	flag.Parse()
+
+	scheme, err := parseScheme(*schemeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deact-sim:", err)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Benchmark = *bench
+	cfg.Nodes = *nodes
+	cfg.CoresPerNode = *cores
+	cfg.WarmupInstructions = *warmup
+	cfg.MeasureInstructions = *measure
+	cfg.Seed = *seed
+	cfg.STUEntries = *stuSize
+	cfg.FabricLatency = sim.NS(*fabricNS)
+
+	r, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deact-sim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+	fmt.Printf("  duration           %.3f ms simulated\n", float64(r.Duration)/float64(sim.Millisecond))
+	fmt.Printf("  instructions       %d (%d memory ops)\n", r.Instructions, r.MemOps)
+	fmt.Printf("  FAM requests       %d AT + %d data (AT share %.1f%%)\n", r.FAMAT, r.FAMData, r.ATFraction*100)
+	fmt.Printf("  FAM device         %d reads, %d writes\n", r.FAMReads, r.FAMWrites)
+	fmt.Printf("  fabric packets     %d\n", r.FabricPackets)
+	fmt.Printf("  translation hit    %.2f%%\n", r.TranslationHitRate*100)
+	fmt.Printf("  ACM hit            %.2f%%\n", r.ACMHitRate*100)
+	if *verbose {
+		for i, ns := range r.NodeStats {
+			fmt.Printf("  node %d: walks=%d faults=%d dram=%d wb=%d denied=%d\n",
+				i+1, ns.NodePTWalks, ns.OSFaults, ns.DRAMData, ns.Writebacks, ns.Denied)
+			st := r.STUStats[i]
+			fmt.Printf("    stu: xlate %d/%d acm %d/%d ptw-steps=%d bitmap=%d\n",
+				st.TranslationHits, st.TranslationHits+st.TranslationMisses,
+				st.ACMHits, st.ACMHits+st.ACMMisses, st.PTWSteps, st.BitmapFetches)
+			tr := r.TranslatorStats[i]
+			fmt.Printf("    translator: hit %d/%d dram r/w %d/%d\n",
+				tr.Hits, tr.Hits+tr.Misses, tr.DRAMReads, tr.DRAMWrites)
+		}
+	}
+}

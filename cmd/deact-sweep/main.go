@@ -1,0 +1,68 @@
+// Command deact-sweep runs one of the paper's sensitivity sweeps (§V-D)
+// and prints the resulting series as a text table.
+//
+// Usage:
+//
+//	deact-sweep -sweep stu        # Figure 13: STU cache size
+//	deact-sweep -sweep assoc      # §V-D1:     STU associativity
+//	deact-sweep -sweep acm        # Figure 14: metadata width
+//	deact-sweep -sweep pairs      # §V-D2:     DeACT-N pairs per way
+//	deact-sweep -sweep fabric     # Figure 15: fabric latency
+//	deact-sweep -sweep nodes      # Figure 16: node count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deact/internal/experiments"
+	"deact/internal/stats"
+)
+
+func main() {
+	var (
+		sweep   = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
+		warmup  = flag.Uint64("warmup", 60_000, "warmup instructions per core")
+		measure = flag.Uint64("measure", 50_000, "measured instructions per core")
+		cores   = flag.Int("cores", 2, "cores per node")
+		seed    = flag.Int64("seed", 42, "random seed")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	h := experiments.New(opts)
+
+	var (
+		tbl stats.Table
+		err error
+	)
+	switch *sweep {
+	case "stu":
+		tbl, err = h.Figure13()
+	case "assoc":
+		tbl, err = h.AssociativitySweep()
+	case "acm":
+		tbl, err = h.Figure14()
+	case "pairs":
+		tbl, err = h.PairsPerWaySweep()
+	case "fabric":
+		tbl, err = h.Figure15()
+	case "nodes":
+		tbl, err = h.Figure16()
+	default:
+		fmt.Fprintf(os.Stderr, "deact-sweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deact-sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("(%d simulation runs)\n", h.CachedRuns())
+}

@@ -1,0 +1,20 @@
+// Package deact is a from-scratch Go reproduction of "DeACT:
+// Architecture-Aware Virtual Memory Support for Fabric Attached Memory
+// Systems" (Kommareddy, Hughes, Awad, Hammond — HPCA 2021).
+//
+// The library lives under internal/: a discrete-event architectural
+// simulator (sim, memdev, cache, tlb, pagetable, cpu, fabric), the FAM
+// system substrates the paper depends on (broker, acm, stu, translator,
+// node), the assembled system and its four virtual-memory schemes (core),
+// the synthetic Table III workload suite (workload), and the harness that
+// regenerates every table and figure of the paper's evaluation
+// (experiments).
+//
+// Entry points:
+//
+//   - cmd/deact-sim     — run one benchmark under one scheme
+//   - cmd/deact-sweep   — run one sensitivity sweep (§V-D)
+//   - cmd/deact-report  — regenerate EXPERIMENTS.md (all tables/figures)
+//   - examples/         — five runnable walkthroughs of the public API
+//   - bench_test.go     — one testing.B benchmark per table and figure
+package deact

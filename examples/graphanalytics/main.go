@@ -1,0 +1,53 @@
+// Graph analytics on fabric-attached memory: the paper's motivating HPC
+// use case. GAP benchmarks (bc, cc, ccsv, sssp) have enormous, irregular
+// working sets — exactly the workloads whose address-translation traffic
+// explodes under I-FAM indirection (Figures 3 and 4) and that DeACT was
+// designed to rescue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deact/internal/core"
+	"deact/internal/workload"
+)
+
+func main() {
+	fmt.Println("Graph analytics over FAM: I-FAM (secure baseline) vs DeACT-N")
+	fmt.Println()
+	fmt.Printf("%-6s  %6s  %12s  %12s  %14s  %12s\n",
+		"bench", "MPKI", "I-FAM AT%", "DeACT AT%", "DeACT speedup", "blocked ops")
+
+	for _, bench := range workload.Suites()["GAP"] {
+		run := func(scheme core.Scheme) core.Result {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Benchmark = bench
+			cfg.CoresPerNode = 2
+			cfg.WarmupInstructions = 60_000
+			cfg.MeasureInstructions = 40_000
+			r, err := core.Run(cfg)
+			if err != nil {
+				log.Fatalf("%s under %v: %v", bench, scheme, err)
+			}
+			return r
+		}
+		rI := run(core.IFAM)
+		rN := run(core.DeACTN)
+		blockedPct := 0.0
+		if rN.MemOps > 0 {
+			// Pointer chases (dependent loads) cannot hide translation
+			// latency — the structural reason graph codes suffer most.
+			blockedPct = float64(rN.FAMData) / float64(rN.MemOps) * 100
+		}
+		fmt.Printf("%-6s  %6.0f  %11.1f%%  %11.1f%%  %13.2fx  %11.1f%%\n",
+			bench, rN.MPKI, rI.ATFraction*100, rN.ATFraction*100,
+			rN.Speedup(rI), blockedPct)
+	}
+
+	fmt.Println()
+	fmt.Println("Reading: DeACT-N removes most translation requests from the fabric")
+	fmt.Println("(AT% column) by caching unverified translations in node-local DRAM,")
+	fmt.Println("while the STU still vets every access against FAM-resident metadata.")
+}

@@ -1,0 +1,47 @@
+// Multi-node scaling (Figure 16): several compute nodes share one fabric
+// and one FAM pool. Contention at the shared link and at the FAM banks
+// inflates every translation round trip, so I-FAM's page-table walks get
+// progressively more expensive — and DeACT's advantage grows with scale.
+//
+// This example runs the dc benchmark on 1, 2, 4 and 8 nodes under I-FAM
+// and DeACT-N and prints the speedup curve.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deact/internal/core"
+)
+
+func main() {
+	const bench = "dc"
+	fmt.Printf("Scaling %s across nodes sharing one Gen-Z-like fabric\n\n", bench)
+	fmt.Printf("%5s  %12s  %12s  %14s  %16s\n",
+		"nodes", "I-FAM IPC", "DeACT IPC", "DeACT speedup", "fabric packets")
+
+	for _, nodes := range []int{1, 2, 4, 8} {
+		run := func(scheme core.Scheme) core.Result {
+			cfg := core.DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.Benchmark = bench
+			cfg.Nodes = nodes
+			cfg.CoresPerNode = 1
+			cfg.WarmupInstructions = 30_000
+			cfg.MeasureInstructions = 25_000
+			r, err := core.Run(cfg)
+			if err != nil {
+				log.Fatalf("%d nodes under %v: %v", nodes, scheme, err)
+			}
+			return r
+		}
+		rI := run(core.IFAM)
+		rN := run(core.DeACTN)
+		fmt.Printf("%5d  %12.4f  %12.4f  %13.2fx  %16d\n",
+			nodes, rI.IPC, rN.IPC, rN.Speedup(rI), rI.FabricPackets)
+	}
+
+	fmt.Println("\nReading: per-node IPC drops as the fabric saturates, but it drops")
+	fmt.Println("faster for I-FAM because every page-table walk crosses the shared")
+	fmt.Println("link four times; DeACT keeps translations in node-local DRAM.")
+}

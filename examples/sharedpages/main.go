@@ -1,0 +1,108 @@
+// Shared pages: FAM's headline capability is letting multiple nodes share
+// physical memory, and §III-A/§VI of the paper define how access control
+// works for it — 1GB shared regions whose per-node rights live in a 64K-bit
+// bitmap in FAM, with the per-page metadata carrying the all-ones "shared"
+// marker.
+//
+// This example builds a two-node DeACT system, publishes a shared region
+// with mixed permissions (node 1: read-write, node 2: read-only), and shows
+// the STU enforcing exactly that policy — including the bitmap-fetch
+// traffic the checks cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deact/internal/acm"
+	"deact/internal/addr"
+	"deact/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = core.DeACTN
+	cfg.Benchmark = "pf"
+	cfg.Nodes = 2
+	cfg.CoresPerNode = 1
+	// Shared regions are fixed at 1GB (§III-A), so give the pool room for
+	// one: the scaled default pool is exactly 1GB and the metadata carve-out
+	// leaves no whole region free.
+	cfg.Layout.FAMSize = 4 << 30
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	brk := sys.Broker()
+
+	// The broker (Opal's role) carves a shared 1GB region. Default
+	// permission applies to nobody until a grant lands in the bitmap.
+	huge, err := brk.AllocateSharedRegion(acm.PermR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	brk.Grant(huge, 1, acm.PermRW) // node 1 may read and write
+	brk.Grant(huge, 2, acm.PermR)  // node 2 may only read
+	fmt.Printf("shared 1GB region #%d: node 1 rw--, node 2 r---, node 3 ----\n\n", huge)
+
+	// Both nodes map the same shared page into their FAM page tables.
+	page1, err := brk.SharedPageFor(1, 0x40000, huge, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	page2, err := brk.SharedPageFor(2, 0x50000, huge, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("node 1 NP page 0x40000 and node 2 NP page 0x50000 → same FAM page %#x\n\n", page1)
+	if page1 != page2 {
+		log.Fatal("shared mapping broken")
+	}
+
+	// Exercise the STUs directly: this is the verification step every FAM
+	// access takes in DeACT (Figure 6, step 3).
+	type attempt struct {
+		node int
+		want acm.Perm
+		desc string
+	}
+	attempts := []attempt{
+		{0, acm.PermR, "node 1 read"},
+		{0, acm.PermRW, "node 1 write"},
+		{1, acm.PermR, "node 2 read"},
+		{1, acm.PermRW, "node 2 write (should be denied)"},
+	}
+	for _, a := range attempts {
+		stu := sys.Node(a.node).STU()
+		_, d := stu.VerifyMapped(0, page1, a.want)
+		verdict := "ALLOWED"
+		if !d.Allowed {
+			verdict = "DENIED "
+		}
+		fmt.Printf("%s  %-32s shared=%v bitmap-fetch=%v\n", verdict, a.desc, d.Shared, d.BitmapFetch)
+	}
+
+	// A third party that was never granted access gets nothing, even for
+	// reads — the bitmap is authoritative.
+	fmt.Println()
+	if _, err := brk.NodeTable(3); err != nil {
+		log.Fatal(err)
+	}
+	st := sys.Node(0).STU() // reuse node 1's STU config against node 3's ID via broker policy
+	_ = st
+	dec := brk.Meta().Check(page1, 3, acm.PermR)
+	fmt.Printf("node 3 read: allowed=%v (%s)\n", dec.Allowed, dec.DeniedReason)
+
+	// Revocation takes effect immediately at the metadata store.
+	brk.Revoke(huge, 2)
+	dec = brk.Meta().Check(page1, 2, acm.PermR)
+	fmt.Printf("after revoke, node 2 read: allowed=%v\n", dec.Allowed)
+
+	s := sys.Node(0).STU().Stats()
+	fmt.Printf("\nnode 1 STU: %d bitmap fetches, %d denials recorded\n", s.BitmapFetches, s.Denied)
+	fmt.Println("\nEvery shared-page check cost one 64B bitmap-block fetch from the FAM")
+	fmt.Printf("metadata region at %#x — the overhead §III-A budgets at <0.0001%%.\n",
+		uint64(cfg.Layout.BitmapBlockAddr(huge, 1)))
+	_ = addr.PageSize
+}

@@ -1,0 +1,241 @@
+// Package acm implements the FAM access-control metadata of Figure 5: a
+// per-4KB-page entry (owner node ID + R/W/E permissions) stored in a
+// dedicated region at the top of the FAM pool, plus a 64K-bit sharing
+// bitmap per 1GB region for pages shared by a subset of nodes.
+//
+// The package holds the *contents* of the metadata; the addresses of the
+// blocks that timing models must fetch come from addr.Layout. The paper's
+// bitmap stores one bit per node with the shared page's permissions encoded
+// in the per-page metadata; we additionally keep a per-node permission so
+// the "mixed access permissions for nodes sharing a page" case (§III-A) is
+// enforceable. The timing is identical either way: one 64B bitmap-block
+// fetch.
+package acm
+
+import (
+	"fmt"
+
+	"deact/internal/addr"
+)
+
+// Perm is a permission set. The paper packs read/write/execute into two
+// bits; we use the same two-bit encoding space.
+type Perm uint8
+
+// Permission values (two-bit encoding as in Figure 5).
+const (
+	PermNone Perm = iota // no access
+	PermR                // read-only
+	PermRW               // read + write
+	PermRWX              // read + write + execute
+)
+
+// CanRead reports read permission.
+func (p Perm) CanRead() bool { return p >= PermR }
+
+// CanWrite reports write permission.
+func (p Perm) CanWrite() bool { return p >= PermRW }
+
+// CanExec reports execute permission.
+func (p Perm) CanExec() bool { return p == PermRWX }
+
+// String implements fmt.Stringer.
+func (p Perm) String() string {
+	switch p {
+	case PermNone:
+		return "----"
+	case PermR:
+		return "r---"
+	case PermRW:
+		return "rw--"
+	case PermRWX:
+		return "rwx-"
+	default:
+		return fmt.Sprintf("Perm(%d)", uint8(p))
+	}
+}
+
+// Entry is the decoded per-page metadata.
+type Entry struct {
+	// Owner is the owning node ID, or the all-ones shared marker.
+	Owner uint16
+	// Perm is the access granted to the owner (or, for shared pages, the
+	// default permission).
+	Perm Perm
+}
+
+// SharedOwner returns the all-ones node-ID marker for a given ACM width
+// (0x3FFF for 16-bit metadata: 14 ID bits; §III-A supports 16383 nodes).
+// Widths whose ID field exceeds 16 bits saturate at 0xFFFF, since node IDs
+// are uint16 throughout the simulator.
+func SharedOwner(acmBits uint) uint16 {
+	if acmBits-2 >= 16 {
+		return 0xFFFF
+	}
+	return uint16(1<<(acmBits-2)) - 1
+}
+
+// MaxNodes returns the number of usable node IDs for an ACM width (the
+// shared marker is reserved).
+func MaxNodes(acmBits uint) int { return int(SharedOwner(acmBits)) }
+
+// Encode packs an entry into its on-FAM representation.
+func Encode(e Entry, acmBits uint) (uint32, error) {
+	if e.Owner > SharedOwner(acmBits) {
+		return 0, fmt.Errorf("acm: owner %d does not fit in %d-bit metadata", e.Owner, acmBits)
+	}
+	return uint32(e.Owner)<<2 | uint32(e.Perm&3), nil
+}
+
+// Decode unpacks an on-FAM entry.
+func Decode(raw uint32, acmBits uint) Entry {
+	return Entry{
+		Owner: uint16(raw>>2) & SharedOwner(acmBits),
+		Perm:  Perm(raw & 3),
+	}
+}
+
+// Store holds the metadata contents for one FAM pool.
+type Store struct {
+	layout  addr.Layout
+	entries map[addr.FPage]Entry
+	// shared[huge][node] = permission granted to node in the 1GB region.
+	shared map[uint64]map[uint16]Perm
+
+	writes uint64
+}
+
+// NewStore builds an empty metadata store for the pool described by layout.
+func NewStore(layout addr.Layout) *Store {
+	return &Store{
+		layout:  layout,
+		entries: map[addr.FPage]Entry{},
+		shared:  map[uint64]map[uint16]Perm{},
+	}
+}
+
+// Set installs the metadata entry for page p.
+func (s *Store) Set(p addr.FPage, e Entry) error {
+	if _, err := Encode(e, s.layout.ACMBits); err != nil {
+		return err
+	}
+	s.entries[p] = e
+	s.writes++
+	return nil
+}
+
+// Clear removes the entry for p (page freed).
+func (s *Store) Clear(p addr.FPage) {
+	delete(s.entries, p)
+	s.writes++
+}
+
+// Entry returns the metadata for p; unallocated pages decode as
+// {Owner:0, Perm:PermNone}, which denies everyone.
+func (s *Store) Entry(p addr.FPage) Entry { return s.entries[p] }
+
+// Has reports whether p has an installed metadata entry.
+func (s *Store) Has(p addr.FPage) bool {
+	_, ok := s.entries[p]
+	return ok
+}
+
+// MarkShared flags every 4KB sub-page of the 1GB region as shared (the
+// paper sets all sub-page node-ID fields to the shared marker when a page
+// becomes shared) with the given default permission.
+func (s *Store) MarkShared(huge uint64, defaultPerm Perm) {
+	marker := SharedOwner(s.layout.ACMBits)
+	base := addr.FPage(huge * addr.PagesPerHuge)
+	for i := uint64(0); i < addr.PagesPerHuge; i++ {
+		s.entries[base+addr.FPage(i)] = Entry{Owner: marker, Perm: defaultPerm}
+	}
+	s.writes++
+	if s.shared[huge] == nil {
+		s.shared[huge] = map[uint16]Perm{}
+	}
+}
+
+// Grant gives node the given permission in the shared 1GB region.
+func (s *Store) Grant(huge uint64, node uint16, p Perm) {
+	if s.shared[huge] == nil {
+		s.shared[huge] = map[uint16]Perm{}
+	}
+	s.shared[huge][node] = p
+	s.writes++
+}
+
+// Revoke removes node's access to the shared region.
+func (s *Store) Revoke(huge uint64, node uint16) {
+	delete(s.shared[huge], node)
+	s.writes++
+}
+
+// SharedPerm returns the permission node holds in the region's bitmap.
+func (s *Store) SharedPerm(huge uint64, node uint16) Perm {
+	return s.shared[huge][node]
+}
+
+// IsSharedMarker reports whether e flags a shared page for this store's
+// ACM width.
+func (s *Store) IsSharedMarker(e Entry) bool {
+	return e.Owner == SharedOwner(s.layout.ACMBits)
+}
+
+// Decision is the outcome of an access-control check, including how much
+// metadata traffic the check required (the timing model charges a bitmap
+// block fetch only when the page turned out to be shared, §III-A).
+type Decision struct {
+	Allowed      bool
+	Shared       bool // the per-page entry carried the shared marker
+	BitmapFetch  bool // the check had to read a bitmap block
+	EntryPerm    Perm // effective permission found
+	DeniedReason string
+}
+
+// Check vets an access by node to page p needing permission want. It is the
+// pure policy function; the STU wraps it with caching and timing.
+func (s *Store) Check(p addr.FPage, node uint16, want Perm) Decision {
+	e := s.Entry(p)
+	if s.IsSharedMarker(e) {
+		perm := s.SharedPerm(p.Huge(), node)
+		d := Decision{Shared: true, BitmapFetch: true, EntryPerm: perm}
+		if !permits(perm, want) {
+			d.DeniedReason = fmt.Sprintf("node %d holds %v on shared region %d, needs %v", node, perm, p.Huge(), want)
+			return d
+		}
+		d.Allowed = true
+		return d
+	}
+	d := Decision{EntryPerm: e.Perm}
+	if e.Owner != node {
+		d.DeniedReason = fmt.Sprintf("page %d owned by node %d, accessed by node %d", p, e.Owner, node)
+		return d
+	}
+	if !permits(e.Perm, want) {
+		d.DeniedReason = fmt.Sprintf("node %d holds %v on page %d, needs %v", node, e.Perm, p, want)
+		return d
+	}
+	d.Allowed = true
+	return d
+}
+
+func permits(have, want Perm) bool {
+	switch want {
+	case PermNone:
+		return true
+	case PermR:
+		return have.CanRead()
+	case PermRW:
+		return have.CanWrite()
+	case PermRWX:
+		return have.CanExec()
+	default:
+		return false
+	}
+}
+
+// Writes counts metadata mutations (used by migration-cost accounting).
+func (s *Store) Writes() uint64 { return s.writes }
+
+// Layout returns the pool layout the store was built for.
+func (s *Store) Layout() addr.Layout { return s.layout }

@@ -1,0 +1,77 @@
+package broker
+
+import "fmt"
+
+// Logical node IDs (§VI): resource managers assign each *job* a logical
+// node ID; the ACM stores logical IDs, so migrating a job between physical
+// nodes only rebinds logical→physical at the broker — no ACM rewrites, no
+// global-memory traffic. This file implements that indirection.
+
+// LogicalDirectory maps job-level logical node IDs to the physical node
+// currently hosting them.
+type LogicalDirectory struct {
+	byLogical  map[uint16]uint16 // logical → physical
+	byPhysical map[uint16]uint16 // physical → logical (one job per node)
+	rebinds    uint64
+}
+
+// NewLogicalDirectory builds an empty directory.
+func NewLogicalDirectory() *LogicalDirectory {
+	return &LogicalDirectory{byLogical: map[uint16]uint16{}, byPhysical: map[uint16]uint16{}}
+}
+
+// Assign binds logical ID l to physical node p. A physical node hosts at
+// most one job at a time (the paper's no-co-location assumption, §II-A).
+func (d *LogicalDirectory) Assign(l, p uint16) error {
+	if cur, ok := d.byPhysical[p]; ok && cur != l {
+		return fmt.Errorf("broker: physical node %d already hosts logical node %d", p, cur)
+	}
+	if cur, ok := d.byLogical[l]; ok && cur != p {
+		return fmt.Errorf("broker: logical node %d already bound to physical node %d", l, cur)
+	}
+	d.byLogical[l] = p
+	d.byPhysical[p] = l
+	return nil
+}
+
+// PhysicalOf resolves a logical ID.
+func (d *LogicalDirectory) PhysicalOf(l uint16) (uint16, bool) {
+	p, ok := d.byLogical[l]
+	return p, ok
+}
+
+// LogicalOf resolves a physical node to the job it hosts.
+func (d *LogicalDirectory) LogicalOf(p uint16) (uint16, bool) {
+	l, ok := d.byPhysical[p]
+	return l, ok
+}
+
+// Rebind migrates the job with logical ID l to physical node newP. Unlike
+// Broker.MigrateJob, this touches no ACM entries: the metadata stores the
+// logical ID, and only this table changes (plus the node-side shootdowns
+// the caller performs). It returns the previous physical node.
+func (d *LogicalDirectory) Rebind(l, newP uint16) (uint16, error) {
+	oldP, ok := d.byLogical[l]
+	if !ok {
+		return 0, fmt.Errorf("broker: logical node %d is not assigned", l)
+	}
+	if cur, busy := d.byPhysical[newP]; busy && cur != l {
+		return 0, fmt.Errorf("broker: physical node %d already hosts logical node %d", newP, cur)
+	}
+	delete(d.byPhysical, oldP)
+	d.byLogical[l] = newP
+	d.byPhysical[newP] = l
+	d.rebinds++
+	return oldP, nil
+}
+
+// Release unbinds a completed job.
+func (d *LogicalDirectory) Release(l uint16) {
+	if p, ok := d.byLogical[l]; ok {
+		delete(d.byPhysical, p)
+		delete(d.byLogical, l)
+	}
+}
+
+// Rebinds counts migrations performed through the directory.
+func (d *LogicalDirectory) Rebinds() uint64 { return d.rebinds }

@@ -1,0 +1,71 @@
+package broker
+
+import "testing"
+
+func TestLogicalAssignResolve(t *testing.T) {
+	d := NewLogicalDirectory()
+	if err := d.Assign(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := d.PhysicalOf(100); !ok || p != 1 {
+		t.Fatalf("PhysicalOf = (%d,%v)", p, ok)
+	}
+	if l, ok := d.LogicalOf(1); !ok || l != 100 {
+		t.Fatalf("LogicalOf = (%d,%v)", l, ok)
+	}
+	// Re-assign same binding is idempotent.
+	if err := d.Assign(100, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogicalNoColocation(t *testing.T) {
+	d := NewLogicalDirectory()
+	d.Assign(100, 1)
+	if err := d.Assign(101, 1); err == nil {
+		t.Fatal("two jobs on one physical node accepted (no-co-location, §II-A)")
+	}
+	if err := d.Assign(100, 2); err == nil {
+		t.Fatal("one job on two physical nodes accepted")
+	}
+}
+
+func TestLogicalRebindIsCheapMigration(t *testing.T) {
+	d := NewLogicalDirectory()
+	d.Assign(100, 1)
+	old, err := d.Rebind(100, 5)
+	if err != nil || old != 1 {
+		t.Fatalf("rebind = (%d,%v)", old, err)
+	}
+	if p, _ := d.PhysicalOf(100); p != 5 {
+		t.Fatal("rebind did not move the job")
+	}
+	if _, ok := d.LogicalOf(1); ok {
+		t.Fatal("old physical node still bound")
+	}
+	if d.Rebinds() != 1 {
+		t.Fatal("rebind not counted")
+	}
+	// Destination occupied → refused.
+	d.Assign(101, 1)
+	if _, err := d.Rebind(100, 1); err == nil {
+		t.Fatal("rebind onto an occupied node accepted")
+	}
+	// Unknown job → refused.
+	if _, err := d.Rebind(999, 7); err == nil {
+		t.Fatal("rebind of unassigned job accepted")
+	}
+}
+
+func TestLogicalRelease(t *testing.T) {
+	d := NewLogicalDirectory()
+	d.Assign(100, 1)
+	d.Release(100)
+	if _, ok := d.PhysicalOf(100); ok {
+		t.Fatal("released job still resolvable")
+	}
+	if err := d.Assign(101, 1); err != nil {
+		t.Fatalf("node not freed by release: %v", err)
+	}
+	d.Release(999) // releasing the unknown is a no-op
+}

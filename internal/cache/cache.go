@@ -1,0 +1,171 @@
+// Package cache implements the on-chip cache hierarchy of a compute node:
+// set-associative, LRU-replaced, write-back write-allocate caches with 64B
+// blocks, composed into the inclusive L1/L2/L3 hierarchy of Table II.
+//
+// The package is purely functional with respect to time: it reports which
+// level served an access and which dirty blocks were evicted; the node model
+// charges latencies and issues the write-back traffic (which, for FAM-zone
+// blocks, itself needs system-level translation — a detail the paper's
+// I-FAM/DeACT comparison depends on).
+package cache
+
+import (
+	"fmt"
+
+	"deact/internal/addr"
+)
+
+// Victim describes a block evicted by an Access.
+type Victim struct {
+	Addr  uint64
+	Dirty bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	used  uint64 // LRU stamp
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	name     string
+	ways     int
+	sets     uint64
+	lines    []line // sets × ways, row-major
+	tick     uint64
+	hits     uint64
+	misses   uint64
+	inserted uint64
+}
+
+// New builds a cache of the given total size in bytes with the given
+// associativity and 64B blocks. Size must be a power-of-two multiple of
+// ways*64 so that the set count is a power of two.
+func New(name string, sizeBytes uint64, ways int) (*Cache, error) {
+	if ways <= 0 {
+		return nil, fmt.Errorf("cache %s: ways must be positive", name)
+	}
+	sets := sizeBytes / (addr.BlockSize * uint64(ways))
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: %d bytes / %d ways yields non-power-of-two set count %d", name, sizeBytes, ways, sets)
+	}
+	return &Cache{
+		name:  name,
+		ways:  ways,
+		sets:  sets,
+		lines: make([]line, sets*uint64(ways)),
+	}, nil
+}
+
+// MustNew is New for statically known-good configurations.
+func MustNew(name string, sizeBytes uint64, ways int) *Cache {
+	c, err := New(name, sizeBytes, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) index(a uint64) (setBase uint64, tag uint64) {
+	blk := a >> addr.BlockShift
+	return (blk % c.sets) * uint64(c.ways), blk / c.sets
+}
+
+// Probe reports whether the block containing a is present, without touching
+// replacement state.
+func (c *Cache) Probe(a uint64) bool {
+	base, tag := c.index(a)
+	for w := 0; w < c.ways; w++ {
+		if l := &c.lines[base+uint64(w)]; l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up the block containing a, allocating it on miss. It returns
+// whether the access hit and, on an allocation that displaced a valid block,
+// the victim.
+func (c *Cache) Access(a uint64, write bool) (hit bool, victim Victim, evicted bool) {
+	base, tag := c.index(a)
+	c.tick++
+	var lruIdx uint64
+	lruStamp := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			l.used = c.tick
+			if write {
+				l.dirty = true
+			}
+			c.hits++
+			return true, Victim{}, false
+		}
+		stamp := l.used
+		if !l.valid {
+			stamp = 0
+		}
+		if stamp < lruStamp {
+			lruStamp = stamp
+			lruIdx = i
+		}
+	}
+	c.misses++
+	l := &c.lines[lruIdx]
+	if l.valid {
+		victim = Victim{Addr: c.reconstruct(lruIdx, l.tag), Dirty: l.dirty}
+		evicted = true
+	}
+	*l = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	c.inserted++
+	return false, victim, evicted
+}
+
+// reconstruct rebuilds a block address from a line index and tag.
+func (c *Cache) reconstruct(lineIdx, tag uint64) uint64 {
+	set := lineIdx / uint64(c.ways)
+	return (tag*c.sets + set) << addr.BlockShift
+}
+
+// Invalidate removes the block containing a if present, returning whether it
+// was present and dirty (the caller must write it back if so — needed for
+// inclusive back-invalidation).
+func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
+	base, tag := c.index(a)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+uint64(w)]
+		if l.valid && l.tag == tag {
+			present, dirty = true, l.dirty
+			*l = line{}
+			return present, dirty
+		}
+	}
+	return false, false
+}
+
+// Hits returns the hit count.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the miss count.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// HitRate returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() uint64 { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }

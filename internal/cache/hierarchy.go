@@ -1,0 +1,138 @@
+package cache
+
+import "fmt"
+
+// HitLevel identifies where in the hierarchy an access was served.
+type HitLevel int
+
+// Hit levels, in lookup order. Memory means the access missed all caches.
+const (
+	L1 HitLevel = iota + 1
+	L2
+	L3
+	Memory
+)
+
+// String implements fmt.Stringer.
+func (h HitLevel) String() string {
+	switch h {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	case L3:
+		return "L3"
+	case Memory:
+		return "memory"
+	default:
+		return fmt.Sprintf("HitLevel(%d)", int(h))
+	}
+}
+
+// HierarchyConfig sizes the three levels (Table II defaults live in the
+// core package).
+type HierarchyConfig struct {
+	Cores  int
+	L1Size uint64
+	L1Ways int
+	L2Size uint64
+	L2Ways int
+	L3Size uint64
+	L3Ways int
+}
+
+// Hierarchy is an inclusive three-level cache hierarchy: private L1 and L2
+// per core, one shared L3. Inclusivity is enforced by back-invalidating L1
+// and L2 when the L3 evicts a block.
+type Hierarchy struct {
+	l1, l2 []*Cache
+	l3     *Cache
+}
+
+// NewHierarchy builds the hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("cache: cores must be positive")
+	}
+	h := &Hierarchy{}
+	for i := 0; i < cfg.Cores; i++ {
+		l1, err := New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways)
+		if err != nil {
+			return nil, err
+		}
+		l2, err := New(fmt.Sprintf("l2.%d", i), cfg.L2Size, cfg.L2Ways)
+		if err != nil {
+			return nil, err
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+	}
+	var err error
+	h.l3, err = New("l3", cfg.L3Size, cfg.L3Ways)
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Access performs a load or store by core on the physical block containing
+// a. It returns the level that served the access and any dirty blocks that
+// must be written back to memory as a result of evictions.
+func (h *Hierarchy) Access(core int, a uint64, write bool) (HitLevel, []uint64) {
+	var writebacks []uint64
+	l1, l2 := h.l1[core], h.l2[core]
+
+	if hit, _, _ := l1.Access(a, write); hit {
+		return L1, nil
+	}
+	// L1 victims spill into L2 conceptually; we model only dirty traffic and
+	// only track blocks leaving the chip (L3 evictions), so L1/L2 victims
+	// are dropped unless dirty-and-not-elsewhere, which inclusivity makes
+	// impossible: a dirty L1 victim is still present in L3.
+	if hit, _, _ := l2.Access(a, write); hit {
+		return L2, nil
+	}
+	hit, victim, evicted := h.l3.Access(a, write)
+	if evicted {
+		// Inclusive hierarchy: the departing L3 block must vanish from all
+		// upper levels; any dirty upper copy joins the writeback.
+		dirty := victim.Dirty
+		for i := range h.l1 {
+			if _, d := h.l1[i].Invalidate(victim.Addr); d {
+				dirty = true
+			}
+			if _, d := h.l2[i].Invalidate(victim.Addr); d {
+				dirty = true
+			}
+		}
+		if dirty {
+			writebacks = append(writebacks, victim.Addr)
+		}
+	}
+	if hit {
+		return L3, writebacks
+	}
+	return Memory, writebacks
+}
+
+// SetDirtyInL3 marks the block containing a dirty in the L3 if present. The
+// hierarchy propagates store dirtiness lazily (stores allocate dirty at the
+// level they hit); the node model calls this when a dirty block is evicted
+// from an upper level in tests.
+func (h *Hierarchy) SetDirtyInL3(a uint64) {
+	if h.l3.Probe(a) {
+		h.l3.Access(a, true)
+	}
+}
+
+// L1Cache returns core's private L1 (for stats and tests).
+func (h *Hierarchy) L1Cache(core int) *Cache { return h.l1[core] }
+
+// L2Cache returns core's private L2.
+func (h *Hierarchy) L2Cache(core int) *Cache { return h.l2[core] }
+
+// L3Cache returns the shared L3.
+func (h *Hierarchy) L3Cache() *Cache { return h.l3 }
+
+// Misses returns the number of accesses that went to memory.
+func (h *Hierarchy) Misses() uint64 { return h.l3.Misses() }

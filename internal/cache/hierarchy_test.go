@@ -1,0 +1,109 @@
+package cache
+
+import "testing"
+
+func smallHierarchy(t *testing.T, cores int) *Hierarchy {
+	t.Helper()
+	h, err := NewHierarchy(HierarchyConfig{
+		Cores: cores,
+		// Tiny levels so evictions are easy to force.
+		L1Size: 4 * 64, L1Ways: 2,
+		L2Size: 8 * 64, L2Ways: 2,
+		L3Size: 16 * 64, L3Ways: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	h := smallHierarchy(t, 1)
+	if lvl, _ := h.Access(0, 0x1000, false); lvl != Memory {
+		t.Fatalf("cold access served at %v", lvl)
+	}
+	if lvl, _ := h.Access(0, 0x1000, false); lvl != L1 {
+		t.Fatalf("warm access served at %v, want L1", lvl)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := smallHierarchy(t, 1)
+	h.Access(0, 0x0000, false)
+	// Fill L1's set for 0x0000 (L1: 2 sets × 2 ways; same-set stride = 128B)
+	// so 0x0000 falls out of L1 but stays in L2.
+	h.Access(0, 0x0080, false)
+	h.Access(0, 0x0100, false)
+	if lvl, _ := h.Access(0, 0x0000, false); lvl != L2 {
+		t.Fatalf("expected L2 hit, got %v", lvl)
+	}
+}
+
+func TestHierarchyPrivateL1PerCore(t *testing.T) {
+	h := smallHierarchy(t, 2)
+	h.Access(0, 0x4000, false)
+	// Core 1 misses its private L1/L2 but hits the shared L3.
+	if lvl, _ := h.Access(1, 0x4000, false); lvl != L3 {
+		t.Fatalf("core 1 served at %v, want shared L3", lvl)
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	h := smallHierarchy(t, 1)
+	h.Access(0, 0x0000, true) // dirty in L1 (and resident in L3)
+	// Evict 0x0000 from L3: its set (L3: 4 sets × 4 ways, same-set stride =
+	// 256B) needs 4 more distinct blocks.
+	for i := 1; i <= 4; i++ {
+		_, wbs := h.Access(0, uint64(i)*0x100, false)
+		for _, wb := range wbs {
+			if wb == 0x0000 {
+				// Back-invalidation found the dirty L1 copy and wrote it back.
+				if h.L1Cache(0).Probe(0x0000) {
+					t.Fatal("L1 copy survived back-invalidation")
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("dirty block evicted from L3 without a writeback")
+}
+
+func TestWritebackOnlyWhenDirty(t *testing.T) {
+	h := smallHierarchy(t, 1)
+	var wbCount int
+	// Clean streaming should evict plenty of blocks but write back none.
+	for i := 0; i < 64; i++ {
+		_, wbs := h.Access(0, uint64(i)*64, false)
+		wbCount += len(wbs)
+	}
+	if wbCount != 0 {
+		t.Fatalf("clean traffic produced %d writebacks", wbCount)
+	}
+}
+
+func TestHierarchyMissCounter(t *testing.T) {
+	h := smallHierarchy(t, 1)
+	for i := 0; i < 10; i++ {
+		h.Access(0, uint64(i)*4096, false)
+	}
+	if h.Misses() != 10 {
+		t.Fatalf("misses = %d, want 10", h.Misses())
+	}
+}
+
+func TestNewHierarchyRejectsBadConfig(t *testing.T) {
+	if _, err := NewHierarchy(HierarchyConfig{Cores: 0}); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+	if _, err := NewHierarchy(HierarchyConfig{Cores: 1, L1Size: 100, L1Ways: 3}); err == nil {
+		t.Fatal("bad L1 geometry accepted")
+	}
+}
+
+func TestHitLevelString(t *testing.T) {
+	for lvl, want := range map[HitLevel]string{L1: "L1", L2: "L2", L3: "L3", Memory: "memory", HitLevel(9): "HitLevel(9)"} {
+		if lvl.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(lvl), lvl.String(), want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+
+	"deact/internal/node"
+	"deact/internal/sim"
+	"deact/internal/stu"
+	"deact/internal/translator"
+)
+
+// Result holds the steady-state metrics of one run (warmup excluded).
+type Result struct {
+	Scheme    Scheme
+	Benchmark string
+	Nodes     int
+
+	// Duration is the measured-phase wall time (simulated).
+	Duration sim.Time
+	// Instructions retired across all cores during measurement.
+	Instructions uint64
+	// MemOps issued across all cores during measurement.
+	MemOps uint64
+	// IPC is aggregate instructions per core-cycle (the paper's
+	// performance metric, §IV).
+	IPC float64
+	// MPKI is L3 (off-chip) misses per kilo-instruction — comparable to
+	// Table III's selection metric.
+	MPKI float64
+
+	// FAMAT / FAMData split the requests observed at FAM into address
+	// translation and demand traffic (Figures 4 and 11).
+	FAMAT   uint64
+	FAMData uint64
+	// ATFraction = FAMAT / (FAMAT + FAMData).
+	ATFraction float64
+
+	// TranslationHitRate is the FAM translation hit rate (Figure 10):
+	// the STU cache for I-FAM, the in-DRAM translation cache for DeACT,
+	// and 1 for E-FAM (no system-level translation exists).
+	TranslationHitRate float64
+	// ACMHitRate is the access-control metadata hit rate (Figure 9).
+	ACMHitRate float64
+
+	// NodeStats, STUStats and TranslatorStats are the per-node raw
+	// counter deltas.
+	NodeStats       []node.Stats
+	STUStats        []stu.Stats
+	TranslatorStats []translator.Stats
+
+	// FAMReads/FAMWrites are device-level access deltas.
+	FAMReads, FAMWrites uint64
+	// FabricPackets is the interconnect traffic delta.
+	FabricPackets uint64
+}
+
+// diffNode subtracts counters.
+func diffNode(a, b node.Stats) node.Stats {
+	return node.Stats{
+		NodePTWalks: a.NodePTWalks - b.NodePTWalks,
+		OSFaults:    a.OSFaults - b.OSFaults,
+		FAMData:     a.FAMData - b.FAMData,
+		FAMAT:       a.FAMAT - b.FAMAT,
+		DRAMData:    a.DRAMData - b.DRAMData,
+		Writebacks:  a.Writebacks - b.Writebacks,
+		Denied:      a.Denied - b.Denied,
+	}
+}
+
+func diffSTU(a, b stu.Stats) stu.Stats {
+	return stu.Stats{
+		TranslationHits:   a.TranslationHits - b.TranslationHits,
+		TranslationMisses: a.TranslationMisses - b.TranslationMisses,
+		ACMHits:           a.ACMHits - b.ACMHits,
+		ACMMisses:         a.ACMMisses - b.ACMMisses,
+		ACMFetches:        a.ACMFetches - b.ACMFetches,
+		BitmapFetches:     a.BitmapFetches - b.BitmapFetches,
+		PTWSteps:          a.PTWSteps - b.PTWSteps,
+		Walks:             a.Walks - b.Walks,
+		Denied:            a.Denied - b.Denied,
+		BrokerFaults:      a.BrokerFaults - b.BrokerFaults,
+		TrustedReads:      a.TrustedReads - b.TrustedReads,
+	}
+}
+
+func diffTr(a, b translator.Stats) translator.Stats {
+	return translator.Stats{
+		Hits:         a.Hits - b.Hits,
+		Misses:       a.Misses - b.Misses,
+		DRAMReads:    a.DRAMReads - b.DRAMReads,
+		DRAMWrites:   a.DRAMWrites - b.DRAMWrites,
+		Invalidates:  a.Invalidates - b.Invalidates,
+		SlotStallsPS: a.SlotStallsPS - b.SlotStallsPS,
+	}
+}
+
+func ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+// buildResult converts a before/after snapshot pair to a Result.
+func (c Config) buildResult(before, after snapshot) Result {
+	r := Result{
+		Scheme:        c.Scheme,
+		Benchmark:     c.Benchmark,
+		Nodes:         c.Nodes,
+		Duration:      after.time - before.time,
+		Instructions:  after.instrs - before.instrs,
+		MemOps:        after.memOps - before.memOps,
+		FAMReads:      after.famReads - before.famReads,
+		FAMWrites:     after.famWrites - before.famWrites,
+		FabricPackets: after.fabricPackets - before.fabricPackets,
+	}
+	for i := range after.nodes {
+		r.NodeStats = append(r.NodeStats, diffNode(after.nodes[i], before.nodes[i]))
+		r.STUStats = append(r.STUStats, diffSTU(after.stus[i], before.stus[i]))
+		r.TranslatorStats = append(r.TranslatorStats, diffTr(after.trs[i], before.trs[i]))
+	}
+
+	var famAT, famData uint64
+	for _, ns := range r.NodeStats {
+		famAT += ns.FAMAT
+		famData += ns.FAMData
+	}
+	r.FAMAT, r.FAMData = famAT, famData
+	r.ATFraction = ratio(famAT, famAT+famData)
+
+	if r.Duration > 0 {
+		cycles := float64(r.Duration) / float64(c.CycleTime)
+		r.IPC = float64(r.Instructions) / cycles
+	}
+	l3 := after.l3Misses - before.l3Misses
+	if r.Instructions > 0 {
+		r.MPKI = float64(l3) / float64(r.Instructions) * 1000
+	}
+
+	switch {
+	case c.Scheme == EFAM:
+		r.TranslationHitRate = 1
+		r.ACMHitRate = 1
+	case c.Scheme == IFAM:
+		var h, m, ah, am uint64
+		for _, st := range r.STUStats {
+			h += st.TranslationHits
+			m += st.TranslationMisses
+			ah += st.ACMHits
+			am += st.ACMMisses
+		}
+		r.TranslationHitRate = ratio(h, h+m)
+		r.ACMHitRate = ratio(ah, ah+am)
+	default:
+		var h, m uint64
+		for _, tr := range r.TranslatorStats {
+			h += tr.Hits
+			m += tr.Misses
+		}
+		r.TranslationHitRate = ratio(h, h+m)
+		var ah, am uint64
+		for _, st := range r.STUStats {
+			ah += st.ACMHits
+			am += st.ACMMisses
+		}
+		r.ACMHitRate = ratio(ah, ah+am)
+	}
+	return r
+}
+
+// String summarizes the result in one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s nodes=%d IPC=%.4f MPKI=%.1f AT=%.1f%% xlate-hit=%.1f%% acm-hit=%.1f%%",
+		r.Benchmark, r.Scheme, r.Nodes, r.IPC, r.MPKI,
+		r.ATFraction*100, r.TranslationHitRate*100, r.ACMHitRate*100)
+}
+
+// Speedup returns r's performance relative to base (IPC ratio), the metric
+// behind Figures 3, 12, 13, 14, 15 and 16.
+func (r Result) Speedup(base Result) float64 {
+	if base.IPC == 0 {
+		return 0
+	}
+	return r.IPC / base.IPC
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+
+	"deact/internal/broker"
+	"deact/internal/cpu"
+	"deact/internal/fabric"
+	"deact/internal/memdev"
+	"deact/internal/node"
+	"deact/internal/sim"
+	"deact/internal/stu"
+	"deact/internal/translator"
+	"deact/internal/workload"
+)
+
+// System is one fully assembled FAM system: a shared broker, fabric and
+// FAM pool, with Nodes compute nodes each running the configured benchmark
+// on CoresPerNode cores.
+type System struct {
+	cfg    Config
+	engine *sim.Engine
+	brk    *broker.Broker
+	fab    *fabric.Fabric
+	fam    *memdev.Device
+	nodes  []*node.Node
+	cores  [][]*cpu.Core
+}
+
+// NewSystem builds a system from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := workload.Get(cfg.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &System{cfg: cfg, engine: sim.NewEngine()}
+	s.brk, err = broker.New(cfg.Layout, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s.fab = fabric.New(fabric.Config{Latency: cfg.FabricLatency, PacketTime: cfg.FabricPacketTime})
+	s.fam = memdev.New(cfg.FAMCfg)
+
+	total := cfg.WarmupInstructions + cfg.MeasureInstructions
+	for ni := 0; ni < cfg.Nodes; ni++ {
+		// Node IDs start at 1; the broker reserves 0 for itself.
+		n, err := node.New(cfg.nodeConfig(uint16(ni+1)), s.brk, s.fab, s.fam)
+		if err != nil {
+			return nil, err
+		}
+		s.nodes = append(s.nodes, n)
+		var row []*cpu.Core
+		for ci := 0; ci < cfg.CoresPerNode; ci++ {
+			gen, err := workload.NewGenerator(prof, cfg.Seed+int64(ni)*100+int64(ci))
+			if err != nil {
+				return nil, err
+			}
+			c, err := cpu.New(cpu.Config{
+				ID: ci, CycleTime: cfg.CycleTime, IssueWidth: cfg.IssueWidth,
+				MaxOutstanding: cfg.MaxOutstanding, Instructions: total,
+			}, gen, n.Access)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, c)
+		}
+		s.cores = append(s.cores, row)
+	}
+	return s, nil
+}
+
+// Broker exposes the system broker (examples: shared pages, migration).
+func (s *System) Broker() *broker.Broker { return s.brk }
+
+// Node returns node i (0-based).
+func (s *System) Node(i int) *node.Node { return s.nodes[i] }
+
+// Nodes returns the node count.
+func (s *System) Nodes() int { return len(s.nodes) }
+
+// Engine returns the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.engine }
+
+// snapshot captures every counter the Result diffing needs.
+type snapshot struct {
+	time          sim.Time
+	instrs        uint64
+	memOps        uint64
+	nodes         []node.Stats
+	stus          []stu.Stats
+	trs           []translator.Stats
+	famReads      uint64
+	famWrites     uint64
+	l3Misses      uint64
+	fabricPackets uint64
+}
+
+func (s *System) snap() snapshot {
+	sn := snapshot{
+		time:          s.engine.Now(),
+		famReads:      s.fam.Reads(),
+		famWrites:     s.fam.Writes(),
+		fabricPackets: s.fab.Packets(),
+	}
+	for ni, n := range s.nodes {
+		sn.nodes = append(sn.nodes, n.Stats())
+		if st := n.STU(); st != nil {
+			sn.stus = append(sn.stus, st.Stats())
+		} else {
+			sn.stus = append(sn.stus, stu.Stats{})
+		}
+		if tr := n.Translator(); tr != nil {
+			sn.trs = append(sn.trs, tr.Stats())
+		} else {
+			sn.trs = append(sn.trs, translator.Stats{})
+		}
+		sn.l3Misses += n.Hierarchy().L3Cache().Misses()
+		for _, c := range s.cores[ni] {
+			sn.instrs += c.Instructions()
+			sn.memOps += c.MemOps()
+		}
+	}
+	return sn
+}
+
+// runPhase drains the engine and verifies every core retired cleanly.
+func (s *System) runPhase() error {
+	s.engine.Run(0)
+	for ni, row := range s.cores {
+		for ci, c := range row {
+			if err := c.Err(); err != nil {
+				return fmt.Errorf("node %d core %d: %w", ni+1, ci, err)
+			}
+			if !c.Done() {
+				return fmt.Errorf("node %d core %d: engine drained before retirement", ni+1, ci)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes the warmup phase (if configured) and then the measured
+// phase, returning steady-state metrics.
+func (s *System) Run() (Result, error) {
+	// Phase 1: warmup. Cores are built with the total budget; we trim it
+	// to the warmup length, run, then extend for measurement.
+	warm := s.cfg.WarmupInstructions
+	if warm > 0 {
+		for _, row := range s.cores {
+			for _, c := range row {
+				c.SetBudget(warm)
+			}
+		}
+		for _, row := range s.cores {
+			for _, c := range row {
+				c.Start(s.engine)
+			}
+		}
+		if err := s.runPhase(); err != nil {
+			return Result{}, err
+		}
+	}
+	before := s.snap()
+
+	for _, row := range s.cores {
+		for _, c := range row {
+			c.SetBudget(warm + s.cfg.MeasureInstructions)
+			c.Start(s.engine)
+		}
+	}
+	if err := s.runPhase(); err != nil {
+		return Result{}, err
+	}
+	after := s.snap()
+	return s.cfg.buildResult(before, after), nil
+}
+
+// Run builds and runs a system in one call.
+func Run(cfg Config) (Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run()
+}

@@ -1,0 +1,195 @@
+// Package cpu models the out-of-order cores of Table II (4 cores, 2GHz,
+// 2 issues/cycle, 32 maximum outstanding requests) at the fidelity the
+// paper's evaluation needs: compute windows retire at the peak issue rate,
+// independent memory references overlap up to the outstanding-request
+// window, and dependent (pointer-chase) references block — so serialized
+// translation latency hurts exactly the way it does in the paper, while
+// streaming misses are partially hidden.
+package cpu
+
+import (
+	"fmt"
+
+	"deact/internal/sim"
+	"deact/internal/workload"
+)
+
+// AccessFunc performs one memory reference through the node's full memory
+// system and returns its completion time. Implemented by the node package.
+type AccessFunc func(now sim.Time, coreID int, op workload.Op) (sim.Time, error)
+
+// Config describes one core.
+type Config struct {
+	// ID is the core's index within its node.
+	ID int
+	// CycleTime is the core clock period (500ps at 2GHz).
+	CycleTime sim.Time
+	// IssueWidth is instructions per cycle at peak (2).
+	IssueWidth int
+	// MaxOutstanding bounds overlapped memory references (32).
+	MaxOutstanding int
+	// Instructions is the retirement budget for the run.
+	Instructions uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.CycleTime == 0:
+		return fmt.Errorf("cpu: zero cycle time")
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("cpu: issue width must be positive")
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("cpu: outstanding window must be positive")
+	case c.Instructions == 0:
+		return fmt.Errorf("cpu: zero instruction budget")
+	}
+	return nil
+}
+
+// Core is one simulated core, driven as a state machine on the engine.
+type Core struct {
+	cfg    Config
+	gen    *workload.Generator
+	access AccessFunc
+
+	outstanding []sim.Time // completion times of in-flight references
+
+	instrs     uint64
+	memOps     uint64
+	blockedOps uint64
+	finishedAt sim.Time
+	done       bool
+	err        error
+}
+
+// New builds a core.
+func New(cfg Config, gen *workload.Generator, access AccessFunc) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || access == nil {
+		return nil, fmt.Errorf("cpu: generator and access function required")
+	}
+	return &Core{cfg: cfg, gen: gen, access: access}, nil
+}
+
+// Start schedules the core's next step on the engine. On a fresh core that
+// is time zero; after SetBudget extended a retired core, execution resumes
+// where it left off (the engine clamps past times to its own clock).
+func (c *Core) Start(e *sim.Engine) {
+	e.Schedule(c.finishedAt, func(now sim.Time) { c.step(e, now) })
+}
+
+// SetBudget replaces the total instruction budget and clears the done flag
+// so the core can be (re)started — the warmup/measurement phasing hook.
+// It does not clear an abort error.
+func (c *Core) SetBudget(total uint64) {
+	c.cfg.Instructions = total
+	if c.err == nil {
+		c.done = false
+	}
+}
+
+// step executes one instruction window: the compute gap, then the memory
+// reference, then schedules the next step at the time the core can proceed.
+func (c *Core) step(e *sim.Engine, now sim.Time) {
+	if c.done {
+		return
+	}
+	if c.instrs >= c.cfg.Instructions {
+		c.retire(now)
+		return
+	}
+	op := c.gen.Next()
+	c.instrs += uint64(op.Compute) + 1
+	c.memOps++
+
+	// Compute window retires at the peak issue rate.
+	cycles := (uint64(op.Compute) + uint64(c.cfg.IssueWidth)) / uint64(c.cfg.IssueWidth)
+	issueAt := now + sim.Time(cycles)*c.cfg.CycleTime
+
+	done, err := c.access(issueAt, c.cfg.ID, op)
+	if err != nil {
+		c.err = err
+		c.retire(issueAt)
+		return
+	}
+
+	next := issueAt
+	if op.Blocking {
+		// Dependent load: the core cannot proceed until the data returns.
+		c.blockedOps++
+		next = done
+	} else {
+		// Independent reference: occupy an outstanding slot; stall only
+		// when the window is full.
+		c.drain(issueAt)
+		if len(c.outstanding) >= c.cfg.MaxOutstanding {
+			earliest := c.outstanding[0]
+			for _, t := range c.outstanding {
+				if t < earliest {
+					earliest = t
+				}
+			}
+			if earliest > next {
+				next = earliest
+			}
+			c.drain(next)
+		}
+		c.outstanding = append(c.outstanding, done)
+	}
+	e.Schedule(next, func(at sim.Time) { c.step(e, at) })
+}
+
+// drain removes references that completed by now.
+func (c *Core) drain(now sim.Time) {
+	kept := c.outstanding[:0]
+	for _, t := range c.outstanding {
+		if t > now {
+			kept = append(kept, t)
+		}
+	}
+	c.outstanding = kept
+}
+
+// retire finalizes the run at the time the last in-flight reference (or the
+// final step) completes.
+func (c *Core) retire(now sim.Time) {
+	end := now
+	for _, t := range c.outstanding {
+		if t > end {
+			end = t
+		}
+	}
+	c.outstanding = nil
+	c.finishedAt = end
+	c.done = true
+}
+
+// Done reports whether the core retired its budget (or faulted).
+func (c *Core) Done() bool { return c.done }
+
+// Err returns the access error that aborted the run, if any.
+func (c *Core) Err() error { return c.err }
+
+// Instructions returns retired instructions.
+func (c *Core) Instructions() uint64 { return c.instrs }
+
+// MemOps returns issued memory references.
+func (c *Core) MemOps() uint64 { return c.memOps }
+
+// BlockedOps returns how many references were dependence-blocking.
+func (c *Core) BlockedOps() uint64 { return c.blockedOps }
+
+// FinishedAt returns the core's completion time.
+func (c *Core) FinishedAt() sim.Time { return c.finishedAt }
+
+// IPC returns retired instructions per cycle over the core's lifetime.
+func (c *Core) IPC() float64 {
+	if c.finishedAt == 0 {
+		return 0
+	}
+	cycles := float64(c.finishedAt) / float64(c.cfg.CycleTime)
+	return float64(c.instrs) / cycles
+}

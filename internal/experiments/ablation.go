@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deact/internal/core"
+	"deact/internal/stats"
+)
+
+// ReadTrustAblation quantifies the §III-A optional optimization for
+// encrypted FAM: with per-node encryption keys, reads can skip access
+// control entirely (a foreign reader only obtains ciphertext). The
+// ablation runs DeACT-N with and without the optimization and reports the
+// speedup it buys per benchmark — an upper bound on what ACM caching is
+// worth for read traffic.
+func (h *Harness) ReadTrustAblation() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "§III-A ablation: DeACT-N with trusted reads (encrypted FAM) vs baseline",
+		XLabels: h.opts.benchmarks(),
+	}
+	var speedups []float64
+	for _, b := range h.opts.benchmarks() {
+		base, err := h.runDefault(core.DeACTN, b)
+		if err != nil {
+			return t, err
+		}
+		trusted, err := h.run(core.DeACTN, b, "trust-reads", func(c *core.Config) { c.TrustReads = true })
+		if err != nil {
+			return t, err
+		}
+		speedups = append(speedups, trusted.Speedup(base))
+	}
+	err := t.AddSeries("trusted-read speedup", speedups)
+	return t, err
+}
+
+// checkReadTrustNeverHurts: skipping read verification can only remove
+// work, so the speedup must be ≥ ~1 everywhere.
+func checkReadTrustNeverHurts(h *Harness) (bool, string, error) {
+	tbl, err := h.ReadTrustAblation()
+	if err != nil {
+		return false, "", err
+	}
+	min := stats.Min(tbl.Series[0].Values)
+	return min > 0.97, fmt.Sprintf("min speedup %.3f, geomean %.3f", min, stats.Geomean(tbl.Series[0].Values)), nil
+}

@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deact/internal/core"
+	"deact/internal/stats"
+	"deact/internal/workload"
+)
+
+// sensitive/insensitive partition per the paper (§V-C).
+func partition(benchmarks []string) (sensitive, insensitive []string) {
+	cat := workload.Catalog()
+	for _, b := range benchmarks {
+		if cat[b].ATSensitive {
+			sensitive = append(sensitive, b)
+		} else {
+			insensitive = append(insensitive, b)
+		}
+	}
+	return sensitive, insensitive
+}
+
+// meanMetric averages metric over benches under scheme.
+func (h *Harness) meanMetric(scheme core.Scheme, benches []string, metric func(core.Result) float64) (float64, error) {
+	var xs []float64
+	for _, b := range benches {
+		r, err := h.runDefault(scheme, b)
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, metric(r))
+	}
+	return stats.Mean(xs), nil
+}
+
+// checkFig3Ordering: sensitive benchmarks slow down more than insensitive.
+func checkFig3Ordering(h *Harness) (bool, string, error) {
+	sens, insens := partition(h.opts.benchmarks())
+	slowdown := func(benches []string) (float64, error) {
+		var xs []float64
+		for _, b := range benches {
+			rE, err := h.runDefault(core.EFAM, b)
+			if err != nil {
+				return 0, err
+			}
+			rI, err := h.runDefault(core.IFAM, b)
+			if err != nil {
+				return 0, err
+			}
+			xs = append(xs, rE.Speedup(rI))
+		}
+		return stats.Geomean(xs), nil
+	}
+	s, err := slowdown(sens)
+	if err != nil {
+		return false, "", err
+	}
+	i, err := slowdown(insens)
+	if err != nil {
+		return false, "", err
+	}
+	return s > i, fmt.Sprintf("sensitive geomean %.2f× vs insensitive %.2f×", s, i), nil
+}
+
+// checkFig4Blowup: I-FAM AT share > E-FAM AT share everywhere.
+func checkFig4Blowup(h *Harness) (bool, string, error) {
+	worstGap := 1.0
+	var worstBench string
+	for _, b := range h.opts.benchmarks() {
+		rE, err := h.runDefault(core.EFAM, b)
+		if err != nil {
+			return false, "", err
+		}
+		rI, err := h.runDefault(core.IFAM, b)
+		if err != nil {
+			return false, "", err
+		}
+		gap := rI.ATFraction - rE.ATFraction
+		if gap < worstGap {
+			worstGap, worstBench = gap, b
+		}
+	}
+	return worstGap > 0, fmt.Sprintf("smallest increase %.3f (%s)", worstGap, worstBench), nil
+}
+
+// checkFig9NBeatsW: DeACT-N ACM hit rate > DeACT-W on sensitive set, and
+// DeACT-W within a few points of I-FAM on average (the paper's observation
+// that W's extra contiguous coverage is wasted under random placement).
+func checkFig9NBeatsW(h *Harness) (bool, string, error) {
+	sens, _ := partition(h.opts.benchmarks())
+	acm := func(s core.Scheme) (float64, error) {
+		return h.meanMetric(s, sens, func(r core.Result) float64 { return r.ACMHitRate })
+	}
+	n, err := acm(core.DeACTN)
+	if err != nil {
+		return false, "", err
+	}
+	w, err := acm(core.DeACTW)
+	if err != nil {
+		return false, "", err
+	}
+	i, err := acm(core.IFAM)
+	if err != nil {
+		return false, "", err
+	}
+	ok := n > w && w < i+0.10
+	return ok, fmt.Sprintf("mean ACM hit: I-FAM %.2f, DeACT-W %.2f, DeACT-N %.2f", i, w, n), nil
+}
+
+// checkFig10DeACTHigh: DeACT translation hit > I-FAM per benchmark, strictly
+// on the sensitive set where the STU cache thrashes.
+func checkFig10DeACTHigh(h *Harness) (bool, string, error) {
+	sens, _ := partition(h.opts.benchmarks())
+	worst := 1.0
+	var worstBench string
+	for _, b := range sens {
+		rI, err := h.runDefault(core.IFAM, b)
+		if err != nil {
+			return false, "", err
+		}
+		rD, err := h.runDefault(core.DeACTN, b)
+		if err != nil {
+			return false, "", err
+		}
+		gap := rD.TranslationHitRate - rI.TranslationHitRate
+		if gap < worst {
+			worst, worstBench = gap, b
+		}
+	}
+	return worst > 0, fmt.Sprintf("smallest sensitive-set gap %.3f (%s)", worst, worstBench), nil
+}
+
+// checkFig11Monotone: mean AT share I-FAM > DeACT-W > DeACT-N.
+func checkFig11Monotone(h *Harness) (bool, string, error) {
+	at := func(s core.Scheme) (float64, error) {
+		return h.meanMetric(s, h.opts.benchmarks(), func(r core.Result) float64 { return r.ATFraction })
+	}
+	i, err := at(core.IFAM)
+	if err != nil {
+		return false, "", err
+	}
+	w, err := at(core.DeACTW)
+	if err != nil {
+		return false, "", err
+	}
+	n, err := at(core.DeACTN)
+	if err != nil {
+		return false, "", err
+	}
+	return i > w && w > n, fmt.Sprintf("mean AT share: %.1f%% → %.1f%% → %.1f%%", i*100, w*100, n*100), nil
+}
+
+// checkFig12Ordering: the headline performance ordering.
+func checkFig12Ordering(h *Harness) (bool, string, error) {
+	sens, _ := partition(h.opts.benchmarks())
+	ipc := func(s core.Scheme) (float64, error) {
+		return h.meanMetric(s, sens, func(r core.Result) float64 { return r.IPC })
+	}
+	e, err := ipc(core.EFAM)
+	if err != nil {
+		return false, "", err
+	}
+	i, err := ipc(core.IFAM)
+	if err != nil {
+		return false, "", err
+	}
+	w, err := ipc(core.DeACTW)
+	if err != nil {
+		return false, "", err
+	}
+	n, err := ipc(core.DeACTN)
+	if err != nil {
+		return false, "", err
+	}
+	ok := e >= n && n >= w && w > i
+	return ok, fmt.Sprintf("sensitive-set mean IPC: E %.4f ≥ N %.4f ≥ W %.4f > I %.4f", e, n, w, i), nil
+}
+
+// checkFig13Shrinks: DeACT speedup at 256 STU entries > at 4096.
+func checkFig13Shrinks(h *Harness) (bool, string, error) {
+	return h.checkSweepMonotone("stu=256", func(c *core.Config) { c.STUEntries = 256 },
+		"stu=4096", func(c *core.Config) { c.STUEntries = 4096 }, true)
+}
+
+// checkFig15Grows: speedup at 6µs fabric > at 100ns.
+func checkFig15Grows(h *Harness) (bool, string, error) {
+	return h.checkSweepMonotone("fab=6us", func(c *core.Config) { c.FabricLatency = 6_000_000 },
+		"fab=100ns", func(c *core.Config) { c.FabricLatency = 100_000 }, true)
+}
+
+// checkSweepMonotone compares geomean DeACT-N speedup over I-FAM at two
+// sweep points across all sensitivity groups.
+func (h *Harness) checkSweepMonotone(keyHi string, mutHi func(*core.Config), keyLo string, mutLo func(*core.Config), wantHiBigger bool) (bool, string, error) {
+	var his, los []float64
+	for _, g := range h.sensitivityGroups() {
+		if len(g.members) == 0 {
+			continue
+		}
+		hi, err := h.speedupOverIFAM(g, core.DeACTN, keyHi, mutHi)
+		if err != nil {
+			return false, "", err
+		}
+		lo, err := h.speedupOverIFAM(g, core.DeACTN, keyLo, mutLo)
+		if err != nil {
+			return false, "", err
+		}
+		his = append(his, hi)
+		los = append(los, lo)
+	}
+	hi, lo := stats.Geomean(his), stats.Geomean(los)
+	ok := hi > lo
+	if !wantHiBigger {
+		ok = lo > hi
+	}
+	return ok, fmt.Sprintf("%s: %.2f× vs %s: %.2f×", keyHi, hi, keyLo, lo), nil
+}
+
+// checkPairsMonotone: 3 pairs ≥ 2 pairs ≥ 1 pair.
+func checkPairsMonotone(h *Harness) (bool, string, error) {
+	var v [3]float64
+	for pi, p := range []int{1, 2, 3} {
+		p := p
+		var xs []float64
+		for _, g := range h.sensitivityGroups() {
+			if len(g.members) == 0 {
+				continue
+			}
+			x, err := h.speedupOverIFAM(g, core.DeACTN, fmt.Sprintf("pairs=%d", p), func(c *core.Config) {
+				c.PairsPerWay = p
+				c.Layout.ACMBits = 8
+			})
+			if err != nil {
+				return false, "", err
+			}
+			xs = append(xs, x)
+		}
+		v[pi] = stats.Geomean(xs)
+	}
+	return v[2] >= v[1] && v[1] >= v[0], fmt.Sprintf("1/2/3 pairs: %.2f/%.2f/%.2f×", v[0], v[1], v[2]), nil
+}
+
+// checkFig16Grows: speedup at 8 nodes > at 1 node for dc.
+func checkFig16Grows(h *Harness) (bool, string, error) {
+	speed := func(nodes int) (float64, error) {
+		key := fmt.Sprintf("nodes=%d", nodes)
+		mutate := func(c *core.Config) { c.Nodes = nodes }
+		rN, err := h.run(core.DeACTN, "dc", key, mutate)
+		if err != nil {
+			return 0, err
+		}
+		rI, err := h.run(core.IFAM, "dc", key, mutate)
+		if err != nil {
+			return 0, err
+		}
+		return rN.Speedup(rI), nil
+	}
+	one, err := speed(1)
+	if err != nil {
+		return false, "", err
+	}
+	eight, err := speed(8)
+	if err != nil {
+		return false, "", err
+	}
+	return eight > one, fmt.Sprintf("dc: 1 node %.2f× vs 8 nodes %.2f×", one, eight), nil
+}

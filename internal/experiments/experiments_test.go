@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"deact/internal/core"
+)
+
+// tinyOptions keeps test runtime low: a reduced benchmark set spanning both
+// sensitivity classes.
+func tinyOptions() Options {
+	return Options{
+		Warmup: 40_000, Measure: 30_000, Cores: 1, Seed: 42,
+		Benchmarks: []string{"mcf", "canl", "sp", "pf", "dc"},
+	}
+}
+
+func TestTableIAndII(t *testing.T) {
+	if !strings.Contains(TableI(), "DeACT") || !strings.Contains(TableI(), "E-FAM") {
+		t.Fatal("Table I incomplete")
+	}
+	ii := TableII()
+	for _, want := range []string{"STU cache", "Fabric", "FAM (NVM)", "TLB"} {
+		if !strings.Contains(ii, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, ii)
+		}
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	h := New(tinyOptions())
+	tbl, err := h.TableIII()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("series = %d", len(tbl.Series))
+	}
+	for i, v := range tbl.Series[1].Values {
+		if v <= 0 {
+			t.Fatalf("measured MPKI %d non-positive", i)
+		}
+	}
+}
+
+func TestFigure3SlowdownAboveOne(t *testing.T) {
+	h := New(tinyOptions())
+	tbl, err := h.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range tbl.Series[0].Values {
+		if v < 0.95 {
+			t.Fatalf("benchmark %s: I-FAM slowdown %.2f < 1", tbl.XLabels[i], v)
+		}
+	}
+}
+
+func TestFigure12OrderingOnSensitiveSet(t *testing.T) {
+	h := New(tinyOptions())
+	if _, err := h.Figure12(); err != nil {
+		t.Fatal(err)
+	}
+	ok, detail, err := checkFig12Ordering(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("figure 12 ordering violated: %s", detail)
+	}
+}
+
+func TestFigure4And11Checks(t *testing.T) {
+	h := New(tinyOptions())
+	ok, detail, err := checkFig4Blowup(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("fig4: %s", detail)
+	}
+	ok, detail, err = checkFig11Monotone(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("fig11: %s", detail)
+	}
+}
+
+func TestFigure9And10Checks(t *testing.T) {
+	h := New(tinyOptions())
+	ok, detail, err := checkFig9NBeatsW(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("fig9: %s", detail)
+	}
+	ok, detail, err = checkFig10DeACTHigh(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("fig10: %s", detail)
+	}
+}
+
+func TestHarnessCachesRuns(t *testing.T) {
+	h := New(tinyOptions())
+	if _, err := h.runDefault(core.EFAM, "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	n := h.CachedRuns()
+	if _, err := h.runDefault(core.EFAM, "mcf"); err != nil {
+		t.Fatal(err)
+	}
+	if h.CachedRuns() != n {
+		t.Fatal("identical run not cached")
+	}
+	if h.Options().Seed != 42 {
+		t.Fatal("options accessor wrong")
+	}
+}
+
+func TestFigure16TwoSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node sweep is slow")
+	}
+	o := tinyOptions()
+	o.Warmup, o.Measure = 15_000, 15_000
+	h := New(o)
+	tbl, err := h.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Series) != 2 {
+		t.Fatalf("fig16 series = %d, want pf and dc", len(tbl.Series))
+	}
+}
+
+func TestReportSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	o := Options{Warmup: 10_000, Measure: 10_000, Cores: 1, Seed: 42,
+		Benchmarks: []string{"canl", "sp", "pf", "dc"}}
+	var buf bytes.Buffer
+	if err := Report(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Figure 12", "Figure 16", "Table III", "PASS", "distinct simulation runs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}
+
+func TestAllListsEveryExperiment(t *testing.T) {
+	ids := map[string]bool{}
+	for _, nt := range All() {
+		ids[nt.id] = true
+	}
+	for _, want := range []string{"Table III", "Figure 3", "Figure 4", "Figure 9", "Figure 10",
+		"Figure 11", "Figure 12", "Figure 13", "Figure 14", "Figure 15", "Figure 16",
+		"§V-D1 associativity", "§V-D2 pairs/way"} {
+		if !ids[want] {
+			t.Errorf("experiment %q missing from All()", want)
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deact/internal/core"
+	"deact/internal/sim"
+	"deact/internal/stats"
+)
+
+// Figure3 regenerates the motivation slowdown chart: I-FAM slowdown with
+// respect to E-FAM per benchmark (paper: up to 20.6× for sssp).
+func (h *Harness) Figure3() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 3: Slowdown of I-FAM wrt E-FAM (×)",
+		XLabels: h.opts.benchmarks(),
+	}
+	var slow []float64
+	for _, b := range h.opts.benchmarks() {
+		rE, err := h.runDefault(core.EFAM, b)
+		if err != nil {
+			return t, err
+		}
+		rI, err := h.runDefault(core.IFAM, b)
+		if err != nil {
+			return t, err
+		}
+		slow = append(slow, rE.Speedup(rI))
+	}
+	err := t.AddSeries("I-FAM slowdown", slow)
+	return t, err
+}
+
+// Figure4 regenerates the AT vs non-AT request breakdown at FAM for E-FAM
+// and I-FAM (paper: canl 44.36% → 84.13%, cactus 1.81% → 53.69%).
+func (h *Harness) Figure4() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 4: Address-translation share of FAM requests (%)",
+		XLabels: h.opts.benchmarks(),
+		Format:  "%.1f",
+	}
+	for _, scheme := range []core.Scheme{core.EFAM, core.IFAM} {
+		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ATFraction * 100 })
+		if err != nil {
+			return t, err
+		}
+		if err := t.AddSeries(scheme.String()+" AT", vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Figure9 regenerates the access-control-metadata hit-rate comparison
+// (paper: DeACT-N lifts canl/sssp/cactus from <60% toward 76–99%).
+func (h *Harness) Figure9() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 9: Access control metadata hit rate (%)",
+		XLabels: h.opts.benchmarks(),
+		Format:  "%.1f",
+	}
+	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN} {
+		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ACMHitRate * 100 })
+		if err != nil {
+			return t, err
+		}
+		if err := t.AddSeries(scheme.String(), vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Figure10 regenerates the FAM address-translation hit-rate comparison
+// (paper: canl 46.44% in I-FAM vs 95.88% in DeACT).
+func (h *Harness) Figure10() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 10: FAM address translation hit rate (%)",
+		XLabels: h.opts.benchmarks(),
+		Format:  "%.1f",
+	}
+	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTN} {
+		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.TranslationHitRate * 100 })
+		if err != nil {
+			return t, err
+		}
+		name := scheme.String()
+		if scheme == core.DeACTN {
+			name = "DeACT"
+		}
+		if err := t.AddSeries(name, vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Figure11 regenerates the percentage of AT requests at FAM for I-FAM,
+// DeACT-W and DeACT-N (paper: 23.97% → 11.82% → 1.77% on average).
+func (h *Harness) Figure11() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 11: Address-translation share of FAM requests (%)",
+		XLabels: h.opts.benchmarks(),
+		Format:  "%.1f",
+	}
+	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN} {
+		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ATFraction * 100 })
+		if err != nil {
+			return t, err
+		}
+		if err := t.AddSeries(scheme.String(), vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Figure12 regenerates the headline performance chart: per-benchmark
+// performance normalized to E-FAM for all four schemes.
+func (h *Harness) Figure12() (stats.Table, error) {
+	t := stats.Table{
+		Title:   "Figure 12: Performance normalized to E-FAM",
+		XLabels: h.opts.benchmarks(),
+	}
+	base := map[string]core.Result{}
+	for _, b := range h.opts.benchmarks() {
+		r, err := h.runDefault(core.EFAM, b)
+		if err != nil {
+			return t, err
+		}
+		base[b] = r
+	}
+	for _, scheme := range core.Schemes() {
+		var vals []float64
+		for _, b := range h.opts.benchmarks() {
+			r, err := h.runDefault(scheme, b)
+			if err != nil {
+				return t, err
+			}
+			vals = append(vals, r.Speedup(base[b]))
+		}
+		if err := t.AddSeries(scheme.String(), vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// sensitivitySweep builds a Figure 13/15-style table: one series per
+// sensitivity group, one column per sweep point, values = geomean DeACT-N
+// speedup over I-FAM at that point.
+func (h *Harness) sensitivitySweep(title string, labels []string, keys []string, mutates []func(*core.Config)) (stats.Table, error) {
+	t := stats.Table{Title: title, XLabels: labels}
+	for _, g := range h.sensitivityGroups() {
+		if len(g.members) == 0 {
+			continue
+		}
+		var vals []float64
+		for i := range labels {
+			v, err := h.speedupOverIFAM(g, core.DeACTN, keys[i], mutates[i])
+			if err != nil {
+				return t, err
+			}
+			vals = append(vals, v)
+		}
+		if err := t.AddSeries(g.name, vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// Figure13 sweeps the STU cache size (256–4096 entries; paper: the DeACT
+// advantage shrinks as the STU grows).
+func (h *Harness) Figure13() (stats.Table, error) {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	var labels, keys []string
+	var mutates []func(*core.Config)
+	for _, s := range sizes {
+		s := s
+		labels = append(labels, fmt.Sprintf("%d", s))
+		keys = append(keys, fmt.Sprintf("stu=%d", s))
+		mutates = append(mutates, func(c *core.Config) { c.STUEntries = s })
+	}
+	return h.sensitivitySweep("Figure 13: DeACT-N speedup wrt I-FAM vs STU cache entries", labels, keys, mutates)
+}
+
+// AssociativitySweep reproduces the §V-D1 text experiment: STU cache
+// associativity 4 → 64 (paper: improvement decreases and saturates).
+func (h *Harness) AssociativitySweep() (stats.Table, error) {
+	assocs := []int{4, 8, 32, 64}
+	var labels, keys []string
+	var mutates []func(*core.Config)
+	for _, a := range assocs {
+		a := a
+		labels = append(labels, fmt.Sprintf("%d-way", a))
+		keys = append(keys, fmt.Sprintf("assoc=%d", a))
+		mutates = append(mutates, func(c *core.Config) { c.STUWays = a })
+	}
+	return h.sensitivitySweep("§V-D1: DeACT-N speedup wrt I-FAM vs STU associativity", labels, keys, mutates)
+}
+
+// Figure14 sweeps the ACM width (8/16/32 bits) for DeACT-W and DeACT-N,
+// normalized to I-FAM at the same width.
+func (h *Harness) Figure14() (stats.Table, error) {
+	widths := []uint{8, 16, 32}
+	var labels []string
+	for _, w := range widths {
+		labels = append(labels, fmt.Sprintf("%db", w))
+	}
+	t := stats.Table{Title: "Figure 14: speedup wrt I-FAM vs ACM size", XLabels: labels}
+	for _, g := range h.sensitivityGroups() {
+		if len(g.members) == 0 {
+			continue
+		}
+		for _, scheme := range []core.Scheme{core.DeACTW, core.DeACTN} {
+			var vals []float64
+			for _, w := range widths {
+				w := w
+				key := fmt.Sprintf("acm=%d", w)
+				v, err := h.speedupOverIFAM(g, scheme, key, func(c *core.Config) { c.Layout.ACMBits = w })
+				if err != nil {
+					return t, err
+				}
+				vals = append(vals, v)
+			}
+			if err := t.AddSeries(fmt.Sprintf("%s %s", g.name, scheme), vals); err != nil {
+				return t, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// PairsPerWaySweep reproduces the §V-D2 experiment on how many (tag, ACM)
+// pairs a DeACT-N way holds (paper: 1 pair ≈ DeACT-W; more pairs → faster).
+func (h *Harness) PairsPerWaySweep() (stats.Table, error) {
+	pairs := []int{1, 2, 3}
+	var labels, keys []string
+	var mutates []func(*core.Config)
+	for _, p := range pairs {
+		p := p
+		labels = append(labels, fmt.Sprintf("%d pair", p))
+		keys = append(keys, fmt.Sprintf("pairs=%d", p))
+		mutates = append(mutates, func(c *core.Config) {
+			c.PairsPerWay = p
+			c.Layout.ACMBits = 8 // the paper varies pairs at 8-bit ACM
+		})
+	}
+	return h.sensitivitySweep("§V-D2: DeACT-N speedup wrt I-FAM vs ACM pairs per way (8-bit ACM)", labels, keys, mutates)
+}
+
+// Figure15 sweeps the fabric latency 100ns–6µs (paper: longer fabric →
+// bigger DeACT advantage; 1.79× even at 100ns).
+func (h *Harness) Figure15() (stats.Table, error) {
+	lats := []sim.Time{sim.NS(100), sim.NS(250), sim.NS(500), sim.NS(750), sim.US(1), sim.US(3), sim.US(6)}
+	var labels, keys []string
+	var mutates []func(*core.Config)
+	for _, l := range lats {
+		l := l
+		labels = append(labels, nsLabel(l))
+		keys = append(keys, "fab="+nsLabel(l))
+		mutates = append(mutates, func(c *core.Config) { c.FabricLatency = l })
+	}
+	return h.sensitivitySweep("Figure 15: DeACT-N speedup wrt I-FAM vs fabric latency", labels, keys, mutates)
+}
+
+// Figure16 sweeps the node count 1–8 for pf and dc (paper: more nodes
+// sharing the fabric → bigger DeACT advantage; dc 2.92× → 3.26×).
+func (h *Harness) Figure16() (stats.Table, error) {
+	counts := []int{1, 2, 4, 8}
+	var labels []string
+	for _, n := range counts {
+		labels = append(labels, fmt.Sprintf("%d", n))
+	}
+	t := stats.Table{Title: "Figure 16: DeACT-N speedup wrt I-FAM vs number of nodes", XLabels: labels}
+	for _, bench := range []string{"pf", "dc"} {
+		found := false
+		for _, b := range h.opts.benchmarks() {
+			if b == bench {
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		var vals []float64
+		for _, nn := range counts {
+			nn := nn
+			key := fmt.Sprintf("nodes=%d", nn)
+			mutate := func(c *core.Config) { c.Nodes = nn }
+			rN, err := h.run(core.DeACTN, bench, key, mutate)
+			if err != nil {
+				return t, err
+			}
+			rI, err := h.run(core.IFAM, bench, key, mutate)
+			if err != nil {
+				return t, err
+			}
+			vals = append(vals, rN.Speedup(rI))
+		}
+		if err := t.AddSeries(bench, vals); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}

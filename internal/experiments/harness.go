@@ -1,0 +1,177 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§II-D motivation, §V results, §V-D sensitivity) from the
+// simulator. Each experiment returns a stats.Table whose series mirror the
+// corresponding figure's bars or lines; cmd/deact-report renders them all
+// into EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+
+	"deact/internal/core"
+	"deact/internal/sim"
+	"deact/internal/stats"
+	"deact/internal/workload"
+)
+
+// Options controls experiment scale. The defaults trade a little noise for
+// tractable single-machine runtimes; raising Warmup/Measure sharpens every
+// rate toward its steady-state value.
+type Options struct {
+	// Warmup and Measure are per-core instruction budgets.
+	Warmup  uint64
+	Measure uint64
+	// Cores per node (the paper uses 4; 2 halves runtime with the same
+	// qualitative behaviour).
+	Cores int
+	// Seed drives all randomness.
+	Seed int64
+	// Benchmarks restricts the benchmark set (default: all 14).
+	Benchmarks []string
+}
+
+// DefaultOptions returns the scale used for EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{Warmup: 80_000, Measure: 60_000, Cores: 2, Seed: 42}
+}
+
+// benchmarks returns the effective benchmark list.
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return workload.Names()
+}
+
+// Harness caches runs so figures sharing configurations (3, 4, 9–12 all
+// reuse the default-parameter runs) do not recompute them.
+type Harness struct {
+	opts  Options
+	cache map[string]core.Result
+}
+
+// New builds a harness.
+func New(opts Options) *Harness {
+	if opts.Cores <= 0 {
+		opts.Cores = 2
+	}
+	if opts.Measure == 0 {
+		opts.Measure = 60_000
+	}
+	return &Harness{opts: opts, cache: map[string]core.Result{}}
+}
+
+// baseConfig derives the core config for one benchmark/scheme pair.
+func (h *Harness) baseConfig(scheme core.Scheme, bench string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Benchmark = bench
+	cfg.CoresPerNode = h.opts.Cores
+	cfg.WarmupInstructions = h.opts.Warmup
+	cfg.MeasureInstructions = h.opts.Measure
+	cfg.Seed = h.opts.Seed
+	return cfg
+}
+
+// run executes (with caching) the configuration produced by applying mutate
+// to the base config.
+func (h *Harness) run(scheme core.Scheme, bench string, key string, mutate func(*core.Config)) (core.Result, error) {
+	cacheKey := fmt.Sprintf("%v|%s|%s", scheme, bench, key)
+	if r, ok := h.cache[cacheKey]; ok {
+		return r, nil
+	}
+	cfg := h.baseConfig(scheme, bench)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r, err := core.Run(cfg)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("experiments: %s under %v (%s): %w", bench, scheme, key, err)
+	}
+	h.cache[cacheKey] = r
+	return r, nil
+}
+
+// runDefault executes the unmutated config for (scheme, bench).
+func (h *Harness) runDefault(scheme core.Scheme, bench string) (core.Result, error) {
+	return h.run(scheme, bench, "default", nil)
+}
+
+// perBenchmark evaluates metric for every benchmark under scheme with the
+// default parameters.
+func (h *Harness) perBenchmark(scheme core.Scheme, metric func(core.Result) float64) ([]float64, error) {
+	var out []float64
+	for _, b := range h.opts.benchmarks() {
+		r, err := h.runDefault(scheme, b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, metric(r))
+	}
+	return out, nil
+}
+
+// sensitivityGroups returns the grouping the paper uses for §V-D: geomeans
+// of the SPEC, PARSEC and GAP suites plus pf and dc individually (§V-D:
+// "dc is the only [NPB] benchmark which has significant performance impact").
+func (h *Harness) sensitivityGroups() []sensGroup {
+	suites := workload.Suites()
+	in := func(names []string) []string {
+		set := map[string]bool{}
+		for _, b := range h.opts.benchmarks() {
+			set[b] = true
+		}
+		var out []string
+		for _, n := range names {
+			if set[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	return []sensGroup{
+		{"SPEC", in(suites["SPEC 2006"])},
+		{"PARSEC", in(suites["PARSEC"])},
+		{"GAP", in(suites["GAP"])},
+		{"pf", in([]string{"pf"})},
+		{"dc", in([]string{"dc"})},
+	}
+}
+
+type sensGroup struct {
+	name    string
+	members []string
+}
+
+// speedupOverIFAM computes geomean over group members of
+// IPC(scheme,key)/IPC(I-FAM,key) under the same mutation — the y-axis of
+// Figures 13–16.
+func (h *Harness) speedupOverIFAM(g sensGroup, scheme core.Scheme, key string, mutate func(*core.Config)) (float64, error) {
+	var ratios []float64
+	for _, b := range g.members {
+		rS, err := h.run(scheme, b, key, mutate)
+		if err != nil {
+			return 0, err
+		}
+		rI, err := h.run(core.IFAM, b, key, mutate)
+		if err != nil {
+			return 0, err
+		}
+		ratios = append(ratios, rS.Speedup(rI))
+	}
+	return stats.Geomean(ratios), nil
+}
+
+// Options returns the harness options.
+func (h *Harness) Options() Options { return h.opts }
+
+// CachedRuns reports how many distinct runs the harness has performed.
+func (h *Harness) CachedRuns() int { return len(h.cache) }
+
+// nsLabel formats a fabric latency for figure x-labels.
+func nsLabel(t sim.Time) string {
+	if t >= sim.US(1) {
+		return fmt.Sprintf("%dus", uint64(t/sim.Microsecond))
+	}
+	return fmt.Sprintf("%dns", uint64(t/sim.Nanosecond))
+}

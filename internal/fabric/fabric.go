@@ -1,0 +1,104 @@
+// Package fabric models the memory-semantic system interconnect (Gen-Z /
+// CXL-like) between compute nodes and the FAM pool: a fixed one-way
+// propagation latency (500ns default, Table II) plus shared per-direction
+// serialization so that traffic from multiple nodes contends (Figure 16's
+// effect).
+//
+// The two directions are independent links. Modeling them as one shared
+// resource would make a response packet's reservation (which happens ~a
+// round trip after its request) block unrelated *requests* issued in the
+// gap — the "next free time" reservation discipline reserves across idle
+// gaps, so request and response streams must not share a reservation
+// window.
+package fabric
+
+import (
+	"fmt"
+
+	"deact/internal/sim"
+)
+
+// Direction selects a fabric link.
+type Direction int
+
+// Link directions.
+const (
+	// ToFAM carries request packets from the nodes to the memory pool.
+	ToFAM Direction = iota
+	// ToNode carries response packets back.
+	ToNode
+)
+
+// Config describes the interconnect.
+type Config struct {
+	// Latency is the one-way propagation delay.
+	Latency sim.Time
+	// PacketTime is the serialization time of one 64B packet at the shared
+	// fabric interface; it is what creates inter-node contention.
+	PacketTime sim.Time
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Latency == 0 {
+		return fmt.Errorf("fabric: latency must be non-zero")
+	}
+	return nil
+}
+
+// Fabric is the shared interconnect.
+type Fabric struct {
+	cfg      Config
+	up       sim.Resource // node → FAM
+	down     sim.Resource // FAM → node
+	packets  uint64
+	maxDelay sim.Time
+}
+
+// New builds a fabric. Invalid configs panic (they are validated by
+// core.Config first).
+func New(cfg Config) *Fabric {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{cfg: cfg}
+}
+
+// Traverse sends one 64B packet across the given direction's link starting
+// at now and returns its arrival time at the far side: queueing at the
+// shared link, serialization, then propagation.
+func (f *Fabric) Traverse(now sim.Time, dir Direction) sim.Time {
+	link := &f.up
+	if dir == ToNode {
+		link = &f.down
+	}
+	_, sent := link.Acquire(now, f.cfg.PacketTime)
+	f.packets++
+	arrive := sent + f.cfg.Latency
+	if d := arrive - now; d > f.maxDelay {
+		f.maxDelay = d
+	}
+	return arrive
+}
+
+// RoundTrip sends a request toward FAM and (after remote service completing
+// at the time remote returns) its response packet, returning when the
+// response arrives back at the node.
+func (f *Fabric) RoundTrip(now sim.Time, remote func(arrive sim.Time) sim.Time) sim.Time {
+	arrive := f.Traverse(now, ToFAM)
+	done := remote(arrive)
+	return f.Traverse(done, ToNode)
+}
+
+// Packets returns the number of packets carried in both directions.
+func (f *Fabric) Packets() uint64 { return f.packets }
+
+// Latency returns the configured one-way latency.
+func (f *Fabric) Latency() sim.Time { return f.cfg.Latency }
+
+// MaxObservedDelay returns the worst end-to-end one-way delay seen,
+// including queueing (contention diagnostics for the Figure 16 sweep).
+func (f *Fabric) MaxObservedDelay() sim.Time { return f.maxDelay }
+
+// BusyTime returns the combined reservation time of both links.
+func (f *Fabric) BusyTime() sim.Time { return f.up.BusyTime() + f.down.BusyTime() }

@@ -1,0 +1,113 @@
+// Package memdev models the timing of the two memory devices in a DeACT
+// system (Table II of the paper):
+//
+//   - the node-local DRAM (1GB default), and
+//   - the fabric-attached NVM pool (16GB, read 60ns / write 150ns, 32 banks,
+//     128 outstanding requests).
+//
+// A device is a set of banks, each a serially occupied sim.Resource, fronted
+// by a controller port that serializes request issue. Requests are mapped to
+// banks by block-interleaving, the common DRAM/NVM layout.
+package memdev
+
+import (
+	"fmt"
+
+	"deact/internal/sim"
+)
+
+// Config describes one memory device.
+type Config struct {
+	// Name is used in error and stats output.
+	Name string
+	// Banks is the number of independently occupied banks.
+	Banks int
+	// ReadLatency and WriteLatency are per-access bank service times.
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+	// PortLatency is the controller front-door occupancy per request. It
+	// bounds device throughput the way a limited outstanding-request window
+	// does in the real controller.
+	PortLatency sim.Time
+	// InterleaveShift selects the address bits used for bank selection;
+	// block interleaving (6) spreads consecutive 64B blocks across banks.
+	InterleaveShift uint
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Banks <= 0:
+		return fmt.Errorf("memdev %s: banks must be positive", c.Name)
+	case c.ReadLatency == 0 || c.WriteLatency == 0:
+		return fmt.Errorf("memdev %s: latencies must be non-zero", c.Name)
+	}
+	return nil
+}
+
+// Device is a banked memory device.
+type Device struct {
+	cfg   Config
+	port  sim.Resource
+	banks []sim.Resource
+
+	reads  uint64
+	writes uint64
+}
+
+// New builds a device from cfg. It panics on invalid configuration: device
+// configs are produced by core.Config validation, so a bad one here is a
+// programming error.
+func New(cfg Config) *Device {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.InterleaveShift == 0 {
+		cfg.InterleaveShift = 6
+	}
+	return &Device{cfg: cfg, banks: make([]sim.Resource, cfg.Banks)}
+}
+
+// bankFor maps an address to a bank by block interleaving.
+func (d *Device) bankFor(a uint64) *sim.Resource {
+	return &d.banks[(a>>d.cfg.InterleaveShift)%uint64(len(d.banks))]
+}
+
+// Access reserves the controller port and the target bank for one 64B
+// request arriving at now, and returns the completion time.
+func (d *Device) Access(now sim.Time, a uint64, write bool) sim.Time {
+	_, issued := d.port.Acquire(now, d.cfg.PortLatency)
+	svc := d.cfg.ReadLatency
+	if write {
+		svc = d.cfg.WriteLatency
+		d.writes++
+	} else {
+		d.reads++
+	}
+	_, done := d.bankFor(a).Acquire(issued, svc)
+	return done
+}
+
+// Reads returns the number of read accesses served.
+func (d *Device) Reads() uint64 { return d.reads }
+
+// Writes returns the number of write accesses served.
+func (d *Device) Writes() uint64 { return d.writes }
+
+// Accesses returns the total number of requests served.
+func (d *Device) Accesses() uint64 { return d.reads + d.writes }
+
+// BusyTime returns the aggregate bank busy time, for utilization reporting.
+func (d *Device) BusyTime() sim.Time {
+	var t sim.Time
+	for i := range d.banks {
+		t += d.banks[i].BusyTime()
+	}
+	return t
+}
+
+// Name returns the configured device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+// Banks returns the configured bank count.
+func (d *Device) Banks() int { return len(d.banks) }

@@ -1,0 +1,490 @@
+// Package node assembles one compute node of a FAM system: cores' MMUs
+// (TLBs + page-table walker), the L1/L2/L3 cache hierarchy, local DRAM, the
+// node page table managed by an unmodified OS over the imaginary flat
+// node-physical space, and — depending on the scheme — the DeACT FAM
+// translator or the I-FAM/E-FAM access paths to the fabric-attached memory.
+//
+// The node implements the cpu.AccessFunc contract: every memory reference
+// is charged through TLB → node page table walk (on miss) → caches →
+// local DRAM or the scheme-specific FAM path.
+package node
+
+import (
+	"fmt"
+
+	"deact/internal/acm"
+	"deact/internal/addr"
+	"deact/internal/broker"
+	"deact/internal/cache"
+	"deact/internal/fabric"
+	"deact/internal/memdev"
+	"deact/internal/pagetable"
+	"deact/internal/sim"
+	"deact/internal/stu"
+	"deact/internal/tlb"
+	"deact/internal/translator"
+	"deact/internal/workload"
+)
+
+// Scheme selects the FAM virtual-memory organization (Table I).
+type Scheme int
+
+// The four evaluated schemes.
+const (
+	// EFAM exposes FAM addresses to the node OS: fast, insecure (Fig 2a).
+	EFAM Scheme = iota
+	// IFAM adds a system translation unit on every FAM access (Fig 2b).
+	IFAM
+	// DeACTW is DeACT with way-contiguous ACM caching (Fig 8b).
+	DeACTW
+	// DeACTN is DeACT with non-contiguous sub-way ACM caching (Fig 8c).
+	DeACTN
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case EFAM:
+		return "E-FAM"
+	case IFAM:
+		return "I-FAM"
+	case DeACTW:
+		return "DeACT-W"
+	case DeACTN:
+		return "DeACT-N"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// UsesDeACT reports whether the scheme runs the decoupled translator path.
+func (s Scheme) UsesDeACT() bool { return s == DeACTW || s == DeACTN }
+
+// Config describes one node. Zero-valued latency fields are allowed (they
+// model fully pipelined stages).
+type Config struct {
+	ID     uint16
+	Cores  int
+	Scheme Scheme
+	Layout addr.Layout
+
+	// LocalEveryN allocates every Nth first-touched page from local DRAM
+	// (5 → the paper's 20% local / 80% FAM split).
+	LocalEveryN int
+
+	CycleTime sim.Time
+	L1Lat     sim.Time
+	L2Lat     sim.Time
+	L3Lat     sim.Time
+	TLBL2Lat  sim.Time
+
+	Hierarchy  cache.HierarchyConfig
+	MMU        tlb.MMUConfig
+	DRAM       memdev.Config
+	STU        stu.Config
+	Translator translator.Config
+
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("node: cores must be positive")
+	case c.LocalEveryN <= 0:
+		return fmt.Errorf("node: LocalEveryN must be positive")
+	case c.CycleTime == 0:
+		return fmt.Errorf("node: zero cycle time")
+	}
+	return c.Layout.Validate()
+}
+
+// Stats aggregates node activity for the paper's figures.
+type Stats struct {
+	// NodePTWalks counts node-level page-table walks (TLB misses).
+	NodePTWalks uint64
+	// OSFaults counts first-touch page allocations.
+	OSFaults uint64
+	// FAMData counts non-address-translation requests observed at FAM
+	// (demand data + writebacks), Figure 4's Non-AT.
+	FAMData uint64
+	// FAMAT counts address-translation requests observed at FAM: FAM
+	// page-table steps, ACM fetches, bitmap fetches, and node page-table
+	// steps that land in the FAM zone (Figures 4 and 11).
+	FAMAT uint64
+	// DRAMData counts local DRAM data accesses (excluding the DeACT
+	// translation cache, which the translator counts separately).
+	DRAMData uint64
+	// Writebacks counts dirty blocks written back to memory.
+	Writebacks uint64
+	// Denied counts accesses rejected by system-level access control.
+	Denied uint64
+}
+
+// Node is one compute node.
+type Node struct {
+	cfg    Config
+	brk    *broker.Broker
+	fab    *fabric.Fabric
+	fam    *memdev.Device
+	dram   *memdev.Device
+	hier   *cache.Hierarchy
+	mmus   []*tlb.MMU
+	pt     *pagetable.Table
+	trans  *translator.Translator
+	stuU   *stu.STU
+	osa    *osAllocator
+	direct map[addr.NPPage]addr.FPage // OS/broker-known NP→FAM backing
+
+	stats Stats
+}
+
+// New builds a node attached to the shared broker, fabric and FAM device.
+func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device) (*Node, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if brk == nil || fab == nil || fam == nil {
+		return nil, fmt.Errorf("node: broker, fabric and FAM device required")
+	}
+	n := &Node{
+		cfg:    cfg,
+		brk:    brk,
+		fab:    fab,
+		fam:    fam,
+		dram:   memdev.New(cfg.DRAM),
+		direct: map[addr.NPPage]addr.FPage{},
+	}
+
+	var err error
+	n.hier, err = cache.NewHierarchy(cfg.Hierarchy)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		m, err := tlb.NewMMU(fmt.Sprintf("node%d.core%d", cfg.ID, i), cfg.MMU)
+		if err != nil {
+			return nil, err
+		}
+		n.mmus = append(n.mmus, m)
+	}
+
+	// The OS allocator: DeACT reserves the top of DRAM for the FAM
+	// translation cache.
+	reserved := uint64(0)
+	if cfg.Scheme.UsesDeACT() {
+		reserved = cfg.Translator.CacheBytes
+	}
+	n.osa = newOSAllocator(cfg.Layout, reserved, cfg.LocalEveryN)
+
+	// Node page table: kernel table pages follow the same 20/80 placement
+	// as data (the property that inflates I-FAM's nested walks).
+	n.pt, err = pagetable.New(fmt.Sprintf("node%d.pt", cfg.ID), func() (uint64, error) {
+		p, err := n.osa.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		if cfg.Layout.InFAMZone(p.Addr()) {
+			if err := n.backWithFAM(p); err != nil {
+				return 0, err
+			}
+		}
+		return uint64(p), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Scheme != EFAM {
+		tbl, err := brk.NodeTable(cfg.ID)
+		if err != nil {
+			return nil, err
+		}
+		n.stuU, err = stu.New(cfg.STU, cfg.ID, cfg.Layout, brk.Meta(), tbl,
+			n.famAT,
+			func(np addr.NPPage) (addr.FPage, error) { return brk.MapForNode(cfg.ID, np) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scheme.UsesDeACT() {
+		tc := cfg.Translator
+		tc.CacheBase = addr.NPAddr(cfg.Layout.DRAMSize - tc.CacheBytes)
+		n.trans, err = translator.New(tc, n.dram, cfg.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// backWithFAM gives an NP FAM-zone page a real FAM backing via the broker
+// and records it for the OS (E-FAM uses it directly; the other schemes use
+// the broker-installed FAM page table).
+func (n *Node) backWithFAM(p addr.NPPage) error {
+	if _, ok := n.direct[p]; ok {
+		return nil
+	}
+	fp, err := n.brk.MapForNode(n.cfg.ID, p)
+	if err != nil {
+		return err
+	}
+	n.direct[p] = fp
+	return nil
+}
+
+// famRT performs one 64B round trip to the FAM device over the fabric.
+func (n *Node) famRT(now sim.Time, fa addr.FAddr, write bool) sim.Time {
+	arrive := n.fab.Traverse(now, fabric.ToFAM)
+	done := n.fam.Access(arrive, uint64(fa), write)
+	return n.fab.Traverse(done, fabric.ToNode)
+}
+
+// famAT is the STU's FAM access path; every call is translation metadata
+// traffic (FAM page-table steps, ACM blocks, bitmaps).
+func (n *Node) famAT(now sim.Time, fa addr.FAddr, write bool) sim.Time {
+	n.stats.FAMAT++
+	return n.famRT(now, fa, write)
+}
+
+// Access implements cpu.AccessFunc: one full memory reference.
+func (n *Node) Access(now sim.Time, coreID int, op workload.Op) (sim.Time, error) {
+	npPage, t, err := n.translate(now, coreID, op.Addr.Page())
+	if err != nil {
+		return t, err
+	}
+	npa := addr.NPFromVP(npPage, op.Addr.Offset())
+	return n.memAccess(t, coreID, npa, op.Write, false)
+}
+
+// translate resolves a virtual page through the TLBs, walking the node
+// page table (through the memory system) on a miss, with first-touch
+// allocation by the node OS.
+func (n *Node) translate(now sim.Time, coreID int, vp addr.VPage) (addr.NPPage, sim.Time, error) {
+	m := n.mmus[coreID]
+	if v, lvl := m.Lookup(uint64(vp)); lvl != tlb.MissBoth {
+		t := now
+		if lvl == tlb.HitL2 {
+			t += n.cfg.TLBL2Lat
+		}
+		return addr.NPPage(v), t, nil
+	}
+
+	n.stats.NodePTWalks++
+	start := m.PTW.BestStartLevel(uint64(vp))
+	steps, val, ok := n.pt.Walk(uint64(vp), start)
+	t := now
+	var err error
+	for _, s := range steps {
+		// Page-table entries are ordinary cached memory (PTW data washes
+		// through the data caches as on real hardware).
+		t, err = n.memAccess(t, coreID, addr.NPAddr(s.EntryAddr), false, true)
+		if err != nil {
+			return 0, t, err
+		}
+	}
+	if !ok {
+		// OS first touch: allocate an NP page (20/80 policy), back it with
+		// FAM if needed, install the PTE, then finish the walk.
+		npp, ferr := n.osFault(vp)
+		if ferr != nil {
+			return 0, t, ferr
+		}
+		retryFrom := steps[len(steps)-1].Level
+		steps2, val2, ok2 := n.pt.Walk(uint64(vp), retryFrom)
+		if !ok2 {
+			return 0, t, fmt.Errorf("node %d: PTE missing after OS fault for vpage %#x", n.cfg.ID, vp)
+		}
+		for _, s := range steps2 {
+			t, err = n.memAccess(t, coreID, addr.NPAddr(s.EntryAddr), false, true)
+			if err != nil {
+				return 0, t, err
+			}
+		}
+		if addr.NPPage(val2) != npp {
+			return 0, t, fmt.Errorf("node %d: OS fault installed inconsistent mapping", n.cfg.ID)
+		}
+		val = val2
+		steps = append(steps[:len(steps)-1], steps2...)
+	}
+	m.PTW.FillFromWalk(uint64(vp), steps)
+	m.Insert(uint64(vp), val)
+	return addr.NPPage(val), t, nil
+}
+
+// osFault performs the OS' first-touch allocation for vp.
+func (n *Node) osFault(vp addr.VPage) (addr.NPPage, error) {
+	n.stats.OSFaults++
+	p, err := n.osa.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	if n.cfg.Layout.InFAMZone(p.Addr()) {
+		if err := n.backWithFAM(p); err != nil {
+			return 0, err
+		}
+	}
+	if err := n.pt.Map(uint64(vp), uint64(p)); err != nil {
+		return 0, err
+	}
+	return p, nil
+}
+
+// memAccess charges one 64B reference through caches and memory. isAT marks
+// node page-table traffic (so FAM-zone PTW steps are counted as AT requests
+// at the FAM, Figure 4).
+func (n *Node) memAccess(now sim.Time, coreID int, npa addr.NPAddr, write bool, isAT bool) (sim.Time, error) {
+	lvl, wbs := n.hier.Access(coreID, uint64(npa.Block()), write)
+	t := now
+	switch lvl {
+	case cache.L1:
+		t += n.cfg.L1Lat
+	case cache.L2:
+		t += n.cfg.L1Lat + n.cfg.L2Lat
+	case cache.L3, cache.Memory:
+		t += n.cfg.L1Lat + n.cfg.L2Lat + n.cfg.L3Lat
+	}
+	// Dirty victims leave the chip regardless of where the demand hit.
+	for _, wb := range wbs {
+		n.writeback(t, wb)
+	}
+	if lvl != cache.Memory {
+		return t, nil
+	}
+	return n.memoryPath(t, npa, write, isAT)
+}
+
+// memoryPath routes a cache-missing reference to local DRAM or to FAM via
+// the scheme's translation/verification machinery.
+func (n *Node) memoryPath(now sim.Time, npa addr.NPAddr, write bool, isAT bool) (sim.Time, error) {
+	if n.cfg.Layout.InLocalZone(npa) {
+		n.stats.DRAMData++
+		return n.dram.Access(now, uint64(npa), write), nil
+	}
+	if !n.cfg.Layout.InFAMZone(npa) {
+		return now, fmt.Errorf("node %d: access to unmapped physical address %#x", n.cfg.ID, npa)
+	}
+
+	want := acm.PermR
+	if write {
+		want = acm.PermRW
+	}
+	np := npa.Page()
+
+	countData := func() {
+		if isAT {
+			n.stats.FAMAT++
+		} else {
+			n.stats.FAMData++
+		}
+	}
+
+	switch n.cfg.Scheme {
+	case EFAM:
+		fp, ok := n.direct[np]
+		if !ok {
+			return now, fmt.Errorf("node %d: E-FAM access to unbacked page %#x", n.cfg.ID, np)
+		}
+		countData()
+		return n.famRT(now, addr.FFromNP(fp, npa.Offset()), write), nil
+
+	case IFAM:
+		t, fp, d, err := n.stuU.TranslateAndVerify(now, np, want)
+		if err != nil {
+			return t, err
+		}
+		if !d.Allowed {
+			n.stats.Denied++
+			return t, fmt.Errorf("node %d: access denied: %s", n.cfg.ID, d.DeniedReason)
+		}
+		countData()
+		return n.famRT(t, addr.FFromNP(fp, npa.Offset()), write), nil
+
+	default: // DeACT-W / DeACT-N
+		t, fp, hit := n.trans.Lookup(now, np)
+		var d acm.Decision
+		var err error
+		if hit {
+			// V=1: the node supplies the FAM address; the STU only vets it.
+			t, d = n.stuU.VerifyMapped(t, fp, want)
+		} else {
+			// V=0: the STU walks the FAM page table on our behalf and
+			// returns the mapping, which we cache (off the critical path).
+			t, fp, d, err = n.stuU.HandleUnmapped(t, np, want)
+			if err != nil {
+				return t, err
+			}
+			n.trans.Update(t, np, fp)
+		}
+		if !d.Allowed {
+			n.stats.Denied++
+			return t, fmt.Errorf("node %d: access denied: %s", n.cfg.ID, d.DeniedReason)
+		}
+		countData()
+		// Responses carry FAM addresses; the outstanding-mapping list
+		// converts them back and bounds in-flight requests (128, Table II).
+		fa := addr.FFromNP(fp, npa.Offset())
+		var fin sim.Time
+		n.trans.ReserveSlot(t, func(start sim.Time) sim.Time {
+			fin = n.famRT(start, fa, write)
+			return fin
+		})
+		return fin, nil
+	}
+}
+
+// writeback retires a dirty block to memory, fire-and-forget. Denials here
+// indicate a forged translation was used for a store; they are counted and
+// the block is dropped (the data never leaves the node).
+func (n *Node) writeback(now sim.Time, blockAddr uint64) {
+	n.stats.Writebacks++
+	if _, err := n.memoryPath(now, addr.NPAddr(blockAddr), true, false); err != nil {
+		n.stats.Denied++
+	}
+}
+
+// Stats returns the node's counters.
+func (n *Node) Stats() Stats { return n.stats }
+
+// STU returns the node's STU (nil for E-FAM).
+func (n *Node) STU() *stu.STU { return n.stuU }
+
+// Translator returns the node's FAM translator (nil outside DeACT).
+func (n *Node) Translator() *translator.Translator { return n.trans }
+
+// DRAM returns the node's local memory device.
+func (n *Node) DRAM() *memdev.Device { return n.dram }
+
+// Hierarchy returns the node's cache hierarchy.
+func (n *Node) Hierarchy() *cache.Hierarchy { return n.hier }
+
+// PageTable returns the node page table (tests and migration).
+func (n *Node) PageTable() *pagetable.Table { return n.pt }
+
+// MMU returns core i's MMU.
+func (n *Node) MMU(i int) *tlb.MMU { return n.mmus[i] }
+
+// ID returns the node's ID.
+func (n *Node) ID() uint16 { return n.cfg.ID }
+
+// Scheme returns the node's scheme.
+func (n *Node) Scheme() Scheme { return n.cfg.Scheme }
+
+// FlushTranslations models the node-side shootdown of a job migration
+// (§VI): TLBs, PTW caches, the unverified translation cache, and the STU
+// state all drop. It returns the number of dirty translation-cache lines
+// invalidated (DRAM write cost, charged by the caller).
+func (n *Node) FlushTranslations() uint64 {
+	for _, m := range n.mmus {
+		m.Flush()
+	}
+	var dirty uint64
+	if n.trans != nil {
+		dirty = n.trans.InvalidateAll()
+	}
+	if n.stuU != nil {
+		n.stuU.Flush()
+	}
+	return dirty
+}

@@ -1,0 +1,220 @@
+// Package pagetable implements hierarchical (multi-tier) radix page tables
+// (§II-B of the paper). The same structure serves two roles in a DeACT
+// system:
+//
+//   - the per-process node page table, walked by the node MMU on TLB misses
+//     (virtual page → node-physical page), and
+//   - the per-node FAM page table, walked by the STU on system-translation
+//     misses (node-physical page → FAM page).
+//
+// The table is functional (a radix tree of Go maps) but *placed*: every
+// table node occupies a physical page obtained from an allocator, and Walk
+// reports the physical address of each 8-byte entry it touches. That is the
+// property the whole evaluation hinges on — in I-FAM each node page-table
+// step that lands in the FAM zone needs its own system-level translation,
+// which is how x86's 4 accesses balloon toward the 24 of nested paging.
+package pagetable
+
+import "fmt"
+
+// Levels is the number of radix levels (PGD, PUD, PMD, PTE in x86-64).
+const Levels = 4
+
+// bitsPerLevel is the radix width of each level (512 entries × 8B = 4KB).
+const bitsPerLevel = 9
+
+// EntrySize is the size of one page-table entry in bytes.
+const EntrySize = 8
+
+// levelMask extracts one level's index.
+const levelMask = (1 << bitsPerLevel) - 1
+
+// PageAllocator provides physical pages for table nodes. The node page
+// table allocates from node-physical space (so kernel tables follow the
+// same 20/80 DRAM/FAM split as data); the FAM page table allocates from the
+// broker's FAM pool.
+type PageAllocator func() (pageNumber uint64, err error)
+
+type tnode struct {
+	phys     uint64 // physical page number holding this 512-entry table
+	children map[uint16]*tnode
+	leaves   map[uint16]uint64
+}
+
+// Table is a 4-level radix page table mapping uint64 page numbers to uint64
+// page numbers.
+type Table struct {
+	name  string
+	alloc PageAllocator
+	root  *tnode
+
+	mapped     uint64
+	tableNodes uint64
+}
+
+// New creates an empty table whose nodes are placed by alloc.
+func New(name string, alloc PageAllocator) (*Table, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("pagetable %s: nil allocator", name)
+	}
+	t := &Table{name: name, alloc: alloc}
+	root, err := t.newNode()
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}
+
+func (t *Table) newNode() (*tnode, error) {
+	p, err := t.alloc()
+	if err != nil {
+		return nil, fmt.Errorf("pagetable %s: allocating table node: %w", t.name, err)
+	}
+	t.tableNodes++
+	return &tnode{phys: p, children: map[uint16]*tnode{}, leaves: map[uint16]uint64{}}, nil
+}
+
+// index returns the radix index of key at the given level (0 = root).
+func index(key uint64, level int) uint16 {
+	shift := uint(bitsPerLevel * (Levels - 1 - level))
+	return uint16((key >> shift) & levelMask)
+}
+
+// entryAddr is the physical address of entry idx in the table page phys.
+func entryAddr(phys uint64, idx uint16) uint64 {
+	return phys<<12 + uint64(idx)*EntrySize
+}
+
+// Map installs key → value, allocating intermediate nodes as needed.
+// Remapping an existing key overwrites the old value.
+func (t *Table) Map(key, value uint64) error {
+	n := t.root
+	for lvl := 0; lvl < Levels-1; lvl++ {
+		idx := index(key, lvl)
+		child, ok := n.children[idx]
+		if !ok {
+			var err error
+			child, err = t.newNode()
+			if err != nil {
+				return err
+			}
+			n.children[idx] = child
+		}
+		n = child
+	}
+	idx := index(key, Levels-1)
+	if _, existed := n.leaves[idx]; !existed {
+		t.mapped++
+	}
+	n.leaves[idx] = value
+	return nil
+}
+
+// Unmap removes key, reporting whether it was mapped. Intermediate nodes
+// are retained (as real kernels do).
+func (t *Table) Unmap(key uint64) bool {
+	n := t.root
+	for lvl := 0; lvl < Levels-1; lvl++ {
+		child, ok := n.children[index(key, lvl)]
+		if !ok {
+			return false
+		}
+		n = child
+	}
+	idx := index(key, Levels-1)
+	if _, ok := n.leaves[idx]; !ok {
+		return false
+	}
+	delete(n.leaves, idx)
+	t.mapped--
+	return true
+}
+
+// Lookup returns the mapping for key without recording a walk.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	n := t.root
+	for lvl := 0; lvl < Levels-1; lvl++ {
+		child, ok := n.children[index(key, lvl)]
+		if !ok {
+			return 0, false
+		}
+		n = child
+	}
+	v, ok := n.leaves[index(key, Levels-1)]
+	return v, ok
+}
+
+// WalkStep records one page-table memory reference.
+type WalkStep struct {
+	// Level is 0 (PGD) … 3 (PTE).
+	Level int
+	// EntryAddr is the physical address of the 8B entry read.
+	EntryAddr uint64
+	// NodePhys is the physical page number of the table node read.
+	NodePhys uint64
+}
+
+// Walk resolves key starting at startLevel (0 for a full walk; higher when a
+// PTW cache already holds the upper levels). It returns the memory
+// references performed, the mapped value, and whether the key was mapped.
+// An unmapped key still incurs the references down to the level where the
+// walk faulted.
+func (t *Table) Walk(key uint64, startLevel int) (steps []WalkStep, value uint64, ok bool) {
+	if startLevel < 0 {
+		startLevel = 0
+	}
+	n := t.root
+	// Descend silently to startLevel: those entries came from a PTW cache.
+	for lvl := 0; lvl < startLevel && lvl < Levels-1; lvl++ {
+		child, present := n.children[index(key, lvl)]
+		if !present {
+			// The PTW cache claimed coverage the table no longer has; fall
+			// back to walking from here.
+			startLevel = lvl
+			break
+		}
+		n = child
+	}
+	for lvl := startLevel; lvl < Levels; lvl++ {
+		idx := index(key, lvl)
+		steps = append(steps, WalkStep{Level: lvl, EntryAddr: entryAddr(n.phys, idx), NodePhys: n.phys})
+		if lvl == Levels-1 {
+			v, present := n.leaves[idx]
+			return steps, v, present
+		}
+		child, present := n.children[idx]
+		if !present {
+			return steps, 0, false
+		}
+		n = child
+	}
+	return steps, 0, false
+}
+
+// NodePhysAt returns the physical page of the table node that would serve
+// key at level (the value a PTW cache stores). ok is false if the node does
+// not exist yet.
+func (t *Table) NodePhysAt(key uint64, level int) (uint64, bool) {
+	n := t.root
+	for lvl := 0; lvl < level; lvl++ {
+		child, present := n.children[index(key, lvl)]
+		if !present {
+			return 0, false
+		}
+		n = child
+	}
+	return n.phys, true
+}
+
+// Mapped returns the number of installed leaf mappings.
+func (t *Table) Mapped() uint64 { return t.mapped }
+
+// TableNodes returns the number of physical pages consumed by table nodes.
+func (t *Table) TableNodes() uint64 { return t.tableNodes }
+
+// RootPhys returns the physical page of the root table (the CR3 analogue).
+func (t *Table) RootPhys() uint64 { return t.root.phys }
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }

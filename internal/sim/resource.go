@@ -1,0 +1,95 @@
+package sim
+
+// Resource models a serially occupied hardware resource (a DRAM bank, a
+// fabric link direction, an STU port). A request occupies the resource for
+// its service time; overlapping requests queue.
+//
+// Unlike the classic "next free time" scalar, the resource books *busy
+// intervals* and lets a request start in any idle gap at or after its
+// arrival. This matters because the surrounding simulator computes whole
+// access chains synchronously: a page-table walk reserves a link at T,
+// T+1.1µs, T+2.2µs…, and with a scalar next-free-time every other
+// requester would queue behind the *last* of those reservations even
+// though the link is idle in between — which silently serializes the whole
+// machine.
+type Resource struct {
+	intervals []interval // sorted by start, non-overlapping
+	busy      Time
+	uses      uint64
+}
+
+type interval struct {
+	start, end Time
+}
+
+// maxIntervals bounds the booking calendar; when exceeded, the oldest
+// intervals are merged away (their gaps are no longer bookable, which only
+// over-serializes the distant past and keeps Acquire O(small)).
+const maxIntervals = 512
+
+// Acquire reserves the resource for service picoseconds starting no earlier
+// than now, in the earliest idle gap that fits. It returns the time at
+// which service starts and the time at which it completes.
+func (r *Resource) Acquire(now, service Time) (start, done Time) {
+	r.uses++
+	r.busy += service
+	if service == 0 {
+		return now, now
+	}
+	start = now
+	insertAt := len(r.intervals)
+	for i, iv := range r.intervals {
+		if start+service <= iv.start {
+			insertAt = i
+			break
+		}
+		if iv.end > start {
+			start = iv.end
+		}
+	}
+	done = start + service
+	r.intervals = append(r.intervals, interval{})
+	copy(r.intervals[insertAt+1:], r.intervals[insertAt:])
+	r.intervals[insertAt] = interval{start: start, end: done}
+	r.coalesce()
+	return start, done
+}
+
+// coalesce merges adjacent/overlapping intervals and bounds the calendar.
+func (r *Resource) coalesce() {
+	out := r.intervals[:0]
+	for _, iv := range r.intervals {
+		if n := len(out); n > 0 && iv.start <= out[n-1].end {
+			if iv.end > out[n-1].end {
+				out[n-1].end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	r.intervals = out
+	if len(r.intervals) > maxIntervals {
+		// Fuse the oldest half into one opaque blob.
+		half := len(r.intervals) / 2
+		r.intervals[half-1] = interval{start: r.intervals[0].start, end: r.intervals[half-1].end}
+		r.intervals = append(r.intervals[:0], r.intervals[half-1:]...)
+	}
+}
+
+// NextFree returns the end of the last booked interval — the earliest time
+// a request arriving after all current bookings could begin service.
+func (r *Resource) NextFree() Time {
+	if len(r.intervals) == 0 {
+		return 0
+	}
+	return r.intervals[len(r.intervals)-1].end
+}
+
+// BusyTime returns the total time the resource has been reserved.
+func (r *Resource) BusyTime() Time { return r.busy }
+
+// Uses returns the number of Acquire calls.
+func (r *Resource) Uses() uint64 { return r.uses }
+
+// Reset clears all reservation state.
+func (r *Resource) Reset() { *r = Resource{} }

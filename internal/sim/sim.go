@@ -1,0 +1,120 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine in the spirit of SST (the Structural Simulation Toolkit), which the
+// DeACT paper uses for its evaluation. Components schedule events on a
+// shared engine; ties are broken by insertion order so that runs are fully
+// reproducible.
+//
+// All simulated time is expressed in picoseconds (type Time). At the 2GHz
+// core clock used throughout the paper one cycle is 500ps.
+package sim
+
+import "container/heap"
+
+// Time is a simulated timestamp in picoseconds.
+type Time uint64
+
+// Common time units, all expressed in picoseconds.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+)
+
+// NS converts a nanosecond count to a Time.
+func NS(n uint64) Time { return Time(n) * Nanosecond }
+
+// US converts a microsecond count to a Time.
+func US(n uint64) Time { return Time(n) * Microsecond }
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func(now Time)
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been dispatched so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (at < Now) clamps to Now; this keeps component code simple when latencies
+// round to zero.
+func (e *Engine) Schedule(at Time, fn func(now Time)) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run delay picoseconds from now.
+func (e *Engine) After(delay Time, fn func(now Time)) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Halt stops Run before the next event is dispatched. It is typically called
+// from inside an event handler once a simulation's exit criterion is met.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run dispatches events in timestamp order until the queue drains, Halt is
+// called, or the optional horizon (non-zero) is reached. It returns the
+// final simulated time.
+func (e *Engine) Run(horizon Time) Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		ev := heap.Pop(&e.queue).(*event)
+		if horizon != 0 && ev.at > horizon {
+			e.now = horizon
+			return e.now
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn(e.now)
+	}
+	return e.now
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }

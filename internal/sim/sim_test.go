@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(300, func(Time) { got = append(got, 3) })
+	e.Schedule(100, func(Time) { got = append(got, 1) })
+	e.Schedule(200, func(Time) { got = append(got, 2) })
+	e.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events fired out of order: %v", got)
+	}
+	if e.Now() != 300 {
+		t.Fatalf("final time = %d, want 300", e.Now())
+	}
+}
+
+func TestEngineTieBreaksByInsertionOrder(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(42, func(Time) { got = append(got, i) })
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestEngineSchedulePastClampsToNow(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.Schedule(1000, func(now Time) {
+		e.Schedule(5, func(now Time) { fired = now })
+	})
+	e.Run(0)
+	if fired != 1000 {
+		t.Fatalf("past event fired at %d, want clamp to 1000", fired)
+	}
+}
+
+func TestEngineAfter(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(100, func(Time) {
+		e.After(50, func(now Time) { at = now })
+	})
+	e.Run(0)
+	if at != 150 {
+		t.Fatalf("After fired at %d, want 150", at)
+	}
+}
+
+func TestEngineHalt(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.Schedule(Time(i*10), func(Time) {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.Run(0)
+	if count != 3 {
+		t.Fatalf("halt ignored: %d events fired", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i*100), func(Time) { count++ })
+	}
+	final := e.Run(450)
+	if count != 4 {
+		t.Fatalf("events within horizon = %d, want 4", count)
+	}
+	if final != 450 {
+		t.Fatalf("final time = %d, want horizon 450", final)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var recurse func(now Time)
+	recurse = func(now Time) {
+		depth++
+		if depth < 100 {
+			e.After(1, recurse)
+		}
+	}
+	e.Schedule(0, recurse)
+	e.Run(0)
+	if depth != 100 {
+		t.Fatalf("nested depth = %d, want 100", depth)
+	}
+	if e.Now() != 99 {
+		t.Fatalf("final time = %d, want 99", e.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	var r Resource
+	s1, d1 := r.Acquire(100, 50)
+	if s1 != 100 || d1 != 150 {
+		t.Fatalf("first acquire = (%d,%d), want (100,150)", s1, d1)
+	}
+	// Second request arrives while busy: queues.
+	s2, d2 := r.Acquire(120, 30)
+	if s2 != 150 || d2 != 180 {
+		t.Fatalf("second acquire = (%d,%d), want (150,180)", s2, d2)
+	}
+	// Third arrives after idle gap: starts immediately.
+	s3, d3 := r.Acquire(500, 10)
+	if s3 != 500 || d3 != 510 {
+		t.Fatalf("third acquire = (%d,%d), want (500,510)", s3, d3)
+	}
+	if r.BusyTime() != 90 {
+		t.Fatalf("busy = %d, want 90", r.BusyTime())
+	}
+	if r.Uses() != 3 {
+		t.Fatalf("uses = %d, want 3", r.Uses())
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	var r Resource
+	r.Acquire(10, 10)
+	r.Reset()
+	if r.NextFree() != 0 || r.BusyTime() != 0 || r.Uses() != 0 {
+		t.Fatal("reset did not clear state")
+	}
+}
+
+// Property: service start is never before arrival, completion = start +
+// service, and no two granted intervals overlap (the resource is serially
+// occupied).
+func TestResourceInvariantsQuick(t *testing.T) {
+	type iv struct{ s, e Time }
+	f := func(arrivals []uint16, services []uint8) bool {
+		var r Resource
+		var now Time
+		var granted []iv
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			now += Time(arrivals[i])
+			svc := Time(services[i])
+			start, done := r.Acquire(now, svc)
+			if start < now || done != start+svc {
+				return false
+			}
+			if svc == 0 {
+				continue
+			}
+			for _, g := range granted {
+				if start < g.e && g.s < done {
+					return false // overlap
+				}
+			}
+			granted = append(granted, iv{start, done})
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestResourceGapFilling: a request arriving in an idle gap between two
+// future bookings is served in the gap, not behind them.
+func TestResourceGapFilling(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 10)    // [0,10)
+	r.Acquire(1000, 10) // [1000,1010)
+	start, done := r.Acquire(20, 10)
+	if start != 20 || done != 30 {
+		t.Fatalf("gap request served at (%d,%d), want (20,30)", start, done)
+	}
+	// A request too big for the gap goes after everything.
+	start, _ = r.Acquire(20, 2000)
+	if start != 1010 {
+		t.Fatalf("oversized request started at %d, want 1010", start)
+	}
+}
+
+// TestResourceCalendarBounded: the interval calendar cannot grow without
+// limit.
+func TestResourceCalendarBounded(t *testing.T) {
+	var r Resource
+	for i := 0; i < 10000; i++ {
+		r.Acquire(Time(i*100), 1)
+	}
+	if len(r.intervals) > maxIntervals {
+		t.Fatalf("calendar grew to %d intervals", len(r.intervals))
+	}
+	if r.Uses() != 10000 {
+		t.Fatalf("uses = %d", r.Uses())
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if NS(1) != 1000 || US(1) != 1000*1000 {
+		t.Fatal("unit conversion wrong")
+	}
+	if Nanosecond != 1000*Picosecond || Microsecond != 1000*Nanosecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit constants wrong")
+	}
+}

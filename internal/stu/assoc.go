@@ -1,0 +1,107 @@
+package stu
+
+// assoc is a small set-associative LRU lookup table used for the STU cache
+// in its three organizations. Unlike the node TLB (package tlb) the value
+// type varies by organization, so this one is generic.
+type assoc[V any] struct {
+	sets   uint64
+	ways   int
+	keys   []uint64
+	vals   []V
+	valid  []bool
+	stamps []uint64
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+func newAssoc[V any](entries, ways int) *assoc[V] {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic("stu: bad assoc geometry")
+	}
+	n := entries
+	return &assoc[V]{
+		sets:   uint64(entries / ways),
+		ways:   ways,
+		keys:   make([]uint64, n),
+		vals:   make([]V, n),
+		valid:  make([]bool, n),
+		stamps: make([]uint64, n),
+	}
+}
+
+func (a *assoc[V]) setBase(key uint64) uint64 { return (key % a.sets) * uint64(a.ways) }
+
+func (a *assoc[V]) lookup(key uint64) (V, bool) {
+	base := a.setBase(key)
+	a.tick++
+	for w := 0; w < a.ways; w++ {
+		i := base + uint64(w)
+		if a.valid[i] && a.keys[i] == key {
+			a.stamps[i] = a.tick
+			a.hits++
+			return a.vals[i], true
+		}
+	}
+	a.misses++
+	var zero V
+	return zero, false
+}
+
+// peek looks up without touching hit/miss counters or LRU state.
+func (a *assoc[V]) peek(key uint64) (V, bool) {
+	base := a.setBase(key)
+	for w := 0; w < a.ways; w++ {
+		i := base + uint64(w)
+		if a.valid[i] && a.keys[i] == key {
+			return a.vals[i], true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+func (a *assoc[V]) insert(key uint64, v V) {
+	base := a.setBase(key)
+	a.tick++
+	victim := base
+	victimStamp := ^uint64(0)
+	for w := 0; w < a.ways; w++ {
+		i := base + uint64(w)
+		if a.valid[i] && a.keys[i] == key {
+			a.vals[i] = v
+			a.stamps[i] = a.tick
+			return
+		}
+		stamp := a.stamps[i]
+		if !a.valid[i] {
+			stamp = 0
+		}
+		if stamp < victimStamp {
+			victimStamp = stamp
+			victim = i
+		}
+	}
+	a.keys[victim] = key
+	a.vals[victim] = v
+	a.valid[victim] = true
+	a.stamps[victim] = a.tick
+}
+
+func (a *assoc[V]) invalidate(key uint64) bool {
+	base := a.setBase(key)
+	for w := 0; w < a.ways; w++ {
+		i := base + uint64(w)
+		if a.valid[i] && a.keys[i] == key {
+			a.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+func (a *assoc[V]) flush() {
+	for i := range a.valid {
+		a.valid[i] = false
+	}
+}

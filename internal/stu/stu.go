@@ -1,0 +1,430 @@
+// Package stu implements the System Translation Unit — the per-node,
+// off-the-node hardware at the fabric edge (similar in spirit to the Gen-Z
+// ZMMU) that enforces system-level access control on every FAM access and,
+// on translation misses, walks the node's FAM page table (Figures 6–8).
+//
+// The STU cache has three organizations:
+//
+//   - I-FAM: each way holds {node-page tag, FAM page, ACM} — translation
+//     and access control coupled (Figure 8a).
+//   - DeACT-W: translation moves to the node's local DRAM, freeing 52 bits
+//     per way; the way holds the ACM of 64/ACMBits *contiguous* FAM pages
+//     (Figure 8b).
+//   - DeACT-N: the way splits into sub-ways with truncated 44-bit tags,
+//     each an independent {FAM page tag, ACM} pair, doubling (or tripling,
+//     for narrow ACM) reach for randomly placed pages (Figure 8c).
+package stu
+
+import (
+	"fmt"
+
+	"deact/internal/acm"
+	"deact/internal/addr"
+	"deact/internal/pagetable"
+	"deact/internal/sim"
+	"deact/internal/tlb"
+)
+
+// Organization selects the STU cache layout (Figure 8).
+type Organization int
+
+// STU cache organizations.
+const (
+	OrgIFAM Organization = iota
+	OrgDeACTW
+	OrgDeACTN
+)
+
+// String implements fmt.Stringer.
+func (o Organization) String() string {
+	switch o {
+	case OrgIFAM:
+		return "I-FAM"
+	case OrgDeACTW:
+		return "DeACT-W"
+	case OrgDeACTN:
+		return "DeACT-N"
+	default:
+		return fmt.Sprintf("Organization(%d)", int(o))
+	}
+}
+
+// Config sizes an STU.
+type Config struct {
+	// Entries is the total entry count of the STU cache (1024 in Table II;
+	// Figure 13 sweeps 256–4096).
+	Entries int
+	// Ways is the associativity (8 in Table II; §V-D1 sweeps it).
+	Ways int
+	// Org selects the cache layout.
+	Org Organization
+	// ACMBits is the per-page metadata width (8/16/32; Figure 14).
+	ACMBits uint
+	// PairsPerWay overrides the number of (tag, ACM) pairs per way in
+	// DeACT-N (Figure 14 explores 1–3). Zero selects the width's natural
+	// value: 2 for 8- and 16-bit ACM, 1 for 32-bit.
+	PairsPerWay int
+	// PTWCacheEntries sizes the FAM page-table-walk cache (32, after [8]).
+	PTWCacheEntries int
+	// LookupTime is the STU cache lookup/occupancy time per request.
+	LookupTime sim.Time
+	// TrustReads enables the §III-A optional optimization for encrypted
+	// memories: with per-node encryption keys, reads by the wrong node
+	// yield ciphertext, so read access control can be skipped entirely —
+	// only writes are vetted. Off by default (plaintext FAM).
+	TrustReads bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Entries <= 0 || c.Ways <= 0 || c.Entries%c.Ways != 0:
+		return fmt.Errorf("stu: bad cache geometry entries=%d ways=%d", c.Entries, c.Ways)
+	case c.ACMBits != 8 && c.ACMBits != 16 && c.ACMBits != 32:
+		return fmt.Errorf("stu: ACMBits %d must be 8, 16 or 32", c.ACMBits)
+	case c.PairsPerWay < 0 || c.PairsPerWay > 3:
+		return fmt.Errorf("stu: PairsPerWay %d out of range [0,3]", c.PairsPerWay)
+	}
+	return nil
+}
+
+// pagesPerWay returns how many contiguous pages' ACM one DeACT-W way holds
+// (§V-D2: 8 for 8-bit, 4 for 16-bit, 2 for 32-bit metadata).
+func (c Config) pagesPerWay() uint64 {
+	switch c.ACMBits {
+	case 8:
+		return 8
+	case 32:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// pairsPerWay returns the DeACT-N sub-way count.
+func (c Config) pairsPerWay() int {
+	if c.PairsPerWay != 0 {
+		return c.PairsPerWay
+	}
+	if c.ACMBits == 32 {
+		return 1
+	}
+	return 2
+}
+
+// FAMAccessFunc performs one 64B access to the FAM device across the fabric
+// and returns its completion time. The STU uses it for page-table, ACM and
+// bitmap traffic — all of which count as address-translation requests at
+// the FAM (Figures 4 and 11).
+type FAMAccessFunc func(now sim.Time, a addr.FAddr, write bool) sim.Time
+
+// ifamEntry is the coupled translation+ACM payload of Figure 8a.
+type ifamEntry struct {
+	fam addr.FPage
+	e   acm.Entry
+}
+
+// Stats aggregates STU activity.
+type Stats struct {
+	TranslationHits   uint64 // I-FAM STU cache hits (Figure 10)
+	TranslationMisses uint64
+	ACMHits           uint64 // metadata found in the STU cache (Figure 9)
+	ACMMisses         uint64
+	ACMFetches        uint64 // 64B metadata blocks read from FAM
+	BitmapFetches     uint64 // shared-page bitmap blocks read from FAM
+	PTWSteps          uint64 // FAM page-table entries read from FAM
+	Walks             uint64
+	Denied            uint64
+	BrokerFaults      uint64 // walks that needed a fresh broker allocation
+	TrustedReads      uint64 // reads passed without ACM checks (TrustReads)
+}
+
+// STU is one node's system translation unit.
+type STU struct {
+	cfg     Config
+	nodeID  uint16
+	layout  addr.Layout
+	meta    *acm.Store
+	table   *pagetable.Table
+	famRead FAMAccessFunc
+	fault   func(np addr.NPPage) (addr.FPage, error) // broker allocation callback
+
+	port sim.Resource
+
+	ifam   *assoc[ifamEntry] // OrgIFAM
+	wcache *assoc[struct{}]  // OrgDeACTW: key = ACM group of contiguous pages
+	ncache *assoc[acm.Entry] // OrgDeACTN: key = FAM page (44-bit tag modeled exactly)
+	ptw    *tlb.PTWCache
+
+	stats Stats
+}
+
+// New builds an STU for the given node.
+//
+// table is the node's FAM page table (owned by the broker), meta the shared
+// metadata store, fam the fabric+FAM access path, and fault the broker
+// allocation service for unmapped node pages (may be nil if the OS
+// pre-installs mappings on first touch).
+func New(cfg Config, nodeID uint16, layout addr.Layout, meta *acm.Store,
+	table *pagetable.Table, fam FAMAccessFunc,
+	fault func(np addr.NPPage) (addr.FPage, error)) (*STU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if meta == nil || table == nil || fam == nil {
+		return nil, fmt.Errorf("stu: meta, table and fam are required")
+	}
+	s := &STU{
+		cfg:     cfg,
+		nodeID:  nodeID,
+		layout:  layout,
+		meta:    meta,
+		table:   table,
+		famRead: fam,
+		fault:   fault,
+		ptw:     tlb.NewPTWCache(cfg.PTWCacheEntries),
+	}
+	switch cfg.Org {
+	case OrgIFAM:
+		s.ifam = newAssoc[ifamEntry](cfg.Entries, cfg.Ways)
+	case OrgDeACTW:
+		s.wcache = newAssoc[struct{}](cfg.Entries, cfg.Ways)
+	case OrgDeACTN:
+		s.ncache = newAssoc[acm.Entry](cfg.Entries*cfg.pairsPerWay(), cfg.Ways*cfg.pairsPerWay())
+	default:
+		return nil, fmt.Errorf("stu: unknown organization %v", cfg.Org)
+	}
+	return s, nil
+}
+
+// Stats returns a copy of the accumulated counters.
+func (s *STU) Stats() Stats { return s.stats }
+
+// NodeID returns the node this STU guards.
+func (s *STU) NodeID() uint16 { return s.nodeID }
+
+// n44 truncates a FAM page number to the 44-bit tag DeACT-N stores
+// (Figure 8c); with ≤44-bit page numbers this is exact, matching the
+// paper's observation that 44 bits cover any realistic node.
+func n44(p addr.FPage) uint64 { return uint64(p) & ((1 << 44) - 1) }
+
+// verify runs the access-control decision for fam page fp, charging ACM
+// cache lookups and FAM metadata traffic as needed. Returns the completion
+// time and the decision.
+func (s *STU) verify(now sim.Time, fp addr.FPage, want acm.Perm) (sim.Time, acm.Decision) {
+	_, t := s.port.Acquire(now, s.cfg.LookupTime)
+
+	if s.cfg.TrustReads && want == acm.PermR {
+		// Encrypted-memory deployment: a foreign reader only gets
+		// ciphertext, so the read sails through with zero metadata traffic.
+		s.stats.TrustedReads++
+		return t, acm.Decision{Allowed: true}
+	}
+
+	if _, cached := s.lookupACM(fp); cached {
+		s.stats.ACMHits++
+	} else {
+		s.stats.ACMMisses++
+		// Fetch the 64B metadata block from FAM and fill the cache with
+		// the coverage the organization provides.
+		t = s.famRead(t, s.layout.ACMBlockAddr(fp), false)
+		s.stats.ACMFetches++
+		s.fillACM(fp)
+	}
+
+	// The policy decision uses the authoritative store — the cache models
+	// where the bits came from (timing), and the broker invalidates cached
+	// copies on revocation/migration. A shared page needs its bitmap.
+	d := s.meta.Check(fp, s.nodeID, want)
+	if d.BitmapFetch {
+		t = s.famRead(t, s.layout.BitmapBlockAddr(fp.Huge(), s.nodeID), false)
+		s.stats.BitmapFetches++
+	}
+	if !d.Allowed {
+		s.stats.Denied++
+	}
+	return t, d
+}
+
+// lookupACM consults the organization-specific ACM cache.
+func (s *STU) lookupACM(fp addr.FPage) (acm.Entry, bool) {
+	switch s.cfg.Org {
+	case OrgIFAM:
+		// I-FAM couples ACM with the translation entry; verification of a
+		// page is a hit iff the translation entry is resident. The caller
+		// handles that path; reaching here means a direct ACM probe, which
+		// I-FAM serves from the same structure keyed by FAM page via scan.
+		// To keep I-FAM faithful we never call verify() for it.
+		return acm.Entry{}, false
+	case OrgDeACTW:
+		group := uint64(fp) / s.cfg.pagesPerWay()
+		_, ok := s.wcache.lookup(group)
+		return s.meta.Entry(fp), ok
+	default:
+		return s.ncache.lookup(n44(fp))
+	}
+}
+
+// fillACM installs metadata coverage for fp after a block fetch.
+func (s *STU) fillACM(fp addr.FPage) {
+	switch s.cfg.Org {
+	case OrgDeACTW:
+		s.wcache.insert(uint64(fp)/s.cfg.pagesPerWay(), struct{}{})
+	case OrgDeACTN:
+		s.ncache.insert(n44(fp), s.meta.Entry(fp))
+	}
+}
+
+// VerifyMapped handles a DeACT request that arrived with the V flag set:
+// the node already supplied the FAM address; the STU only vets it. This is
+// the fast path of Figure 6 (step 3).
+func (s *STU) VerifyMapped(now sim.Time, fp addr.FPage, want acm.Perm) (sim.Time, acm.Decision) {
+	return s.verify(now, fp, want)
+}
+
+// walk resolves npPage through the FAM page table, charging one FAM access
+// per step not covered by the PTW cache. Faults fall back to the broker.
+func (s *STU) walk(now sim.Time, npPage addr.NPPage) (sim.Time, addr.FPage, error) {
+	s.stats.Walks++
+	start := s.ptw.BestStartLevel(uint64(npPage))
+	steps, val, ok := s.table.Walk(uint64(npPage), start)
+	t := now
+	for _, st := range steps {
+		t = s.famRead(t, addr.FAddr(st.EntryAddr), false)
+		s.stats.PTWSteps++
+	}
+	if !ok {
+		if s.fault == nil {
+			return t, 0, fmt.Errorf("stu(node %d): node page %#x has no FAM mapping", s.nodeID, npPage)
+		}
+		fp, err := s.fault(npPage)
+		if err != nil {
+			return t, 0, fmt.Errorf("stu(node %d): broker fault for node page %#x: %w", s.nodeID, npPage, err)
+		}
+		s.stats.BrokerFaults++
+		// Retry the walk from the level that faulted; the broker has now
+		// installed the missing subtree.
+		retryFrom := steps[len(steps)-1].Level
+		steps2, val2, ok2 := s.table.Walk(uint64(npPage), retryFrom)
+		if !ok2 {
+			return t, 0, fmt.Errorf("stu(node %d): broker did not install mapping for %#x", s.nodeID, npPage)
+		}
+		for _, st2 := range steps2 {
+			t = s.famRead(t, addr.FAddr(st2.EntryAddr), false)
+			s.stats.PTWSteps++
+		}
+		if addr.FPage(val2) != fp {
+			return t, 0, fmt.Errorf("stu(node %d): broker mapping mismatch for %#x", s.nodeID, npPage)
+		}
+		val = val2
+		steps = append(steps[:len(steps)-1], steps2...)
+	}
+	s.ptw.FillFromWalk(uint64(npPage), steps)
+	return t, addr.FPage(val), nil
+}
+
+// HandleUnmapped serves a DeACT request with V=0: the node's FAM translator
+// missed, so the STU walks the FAM page table on its behalf, verifies the
+// access, and returns the mapping for the translator to cache (Figure 6,
+// steps 4–5).
+func (s *STU) HandleUnmapped(now sim.Time, npPage addr.NPPage, want acm.Perm) (done sim.Time, fp addr.FPage, d acm.Decision, err error) {
+	_, t := s.port.Acquire(now, s.cfg.LookupTime)
+	t, fp, err = s.walk(t, npPage)
+	if err != nil {
+		return t, 0, acm.Decision{}, err
+	}
+	t, d = s.verify(t, fp, want)
+	return t, fp, d, nil
+}
+
+// TranslateAndVerify is the I-FAM request path: every FAM-zone access stops
+// at the STU, which translates the node address and checks permissions in
+// one coupled cache (Figure 2b).
+func (s *STU) TranslateAndVerify(now sim.Time, npPage addr.NPPage, want acm.Perm) (done sim.Time, fp addr.FPage, d acm.Decision, err error) {
+	if s.cfg.Org != OrgIFAM {
+		return now, 0, acm.Decision{}, fmt.Errorf("stu: TranslateAndVerify requires the I-FAM organization, have %v", s.cfg.Org)
+	}
+	_, t := s.port.Acquire(now, s.cfg.LookupTime)
+	if ent, ok := s.ifam.lookup(uint64(npPage)); ok {
+		s.stats.TranslationHits++
+		s.stats.ACMHits++ // coupled entry: ACM rides along (Figure 9's I-FAM series)
+		d := s.meta.Check(ent.fam, s.nodeID, want)
+		if d.BitmapFetch {
+			t = s.famRead(t, s.layout.BitmapBlockAddr(ent.fam.Huge(), s.nodeID), false)
+			s.stats.BitmapFetches++
+		}
+		if !d.Allowed {
+			s.stats.Denied++
+		}
+		return t, ent.fam, d, nil
+	}
+	s.stats.TranslationMisses++
+	s.stats.ACMMisses++
+	t, fp, err = s.walk(t, npPage)
+	if err != nil {
+		return t, 0, acm.Decision{}, err
+	}
+	// The coupled entry needs the metadata too: one ACM block fetch.
+	t = s.famRead(t, s.layout.ACMBlockAddr(fp), false)
+	s.stats.ACMFetches++
+	ent := ifamEntry{fam: fp, e: s.meta.Entry(fp)}
+	s.ifam.insert(uint64(npPage), ent)
+	d = s.meta.Check(fp, s.nodeID, want)
+	if d.BitmapFetch {
+		t = s.famRead(t, s.layout.BitmapBlockAddr(fp.Huge(), s.nodeID), false)
+		s.stats.BitmapFetches++
+	}
+	if !d.Allowed {
+		s.stats.Denied++
+	}
+	return t, fp, d, nil
+}
+
+// TranslationHitRate returns the I-FAM STU translation hit rate (Figure 10).
+func (s *STU) TranslationHitRate() float64 {
+	tot := s.stats.TranslationHits + s.stats.TranslationMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.stats.TranslationHits) / float64(tot)
+}
+
+// ACMHitRate returns the metadata hit rate (Figure 9).
+func (s *STU) ACMHitRate() float64 {
+	tot := s.stats.ACMHits + s.stats.ACMMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.stats.ACMHits) / float64(tot)
+}
+
+// InvalidateNodePage drops any coupled I-FAM entry for npPage (migration).
+func (s *STU) InvalidateNodePage(npPage addr.NPPage) {
+	if s.ifam != nil {
+		s.ifam.invalidate(uint64(npPage))
+	}
+}
+
+// InvalidateACM drops cached metadata for a FAM page (migration, §VI).
+func (s *STU) InvalidateACM(fp addr.FPage) {
+	switch s.cfg.Org {
+	case OrgDeACTW:
+		s.wcache.invalidate(uint64(fp) / s.cfg.pagesPerWay())
+	case OrgDeACTN:
+		s.ncache.invalidate(n44(fp))
+	}
+}
+
+// Flush empties all STU state (full shootdown).
+func (s *STU) Flush() {
+	if s.ifam != nil {
+		s.ifam.flush()
+	}
+	if s.wcache != nil {
+		s.wcache.flush()
+	}
+	if s.ncache != nil {
+		s.ncache.flush()
+	}
+	s.ptw.Flush()
+}

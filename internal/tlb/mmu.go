@@ -1,0 +1,74 @@
+package tlb
+
+// MMU bundles a core's two TLB levels and its PTW cache, mirroring the
+// Samba MMU configuration of Table II (L1: 32 entries, L2: 256 entries,
+// PTW cache: 32 entries).
+type MMU struct {
+	L1  *TLB
+	L2  *TLB
+	PTW *PTWCache
+}
+
+// MMUConfig sizes an MMU.
+type MMUConfig struct {
+	L1Entries  int
+	L1Ways     int
+	L2Entries  int
+	L2Ways     int
+	PTWEntries int
+}
+
+// NewMMU builds an MMU.
+func NewMMU(name string, cfg MMUConfig) (*MMU, error) {
+	l1, err := New(name+".l1tlb", cfg.L1Entries, cfg.L1Ways)
+	if err != nil {
+		return nil, err
+	}
+	l2, err := New(name+".l2tlb", cfg.L2Entries, cfg.L2Ways)
+	if err != nil {
+		return nil, err
+	}
+	return &MMU{L1: l1, L2: l2, PTW: NewPTWCache(cfg.PTWEntries)}, nil
+}
+
+// LookupLevel identifies which TLB level served a translation.
+type LookupLevel int
+
+// Lookup outcomes.
+const (
+	MissBoth LookupLevel = iota
+	HitL1
+	HitL2
+)
+
+// Lookup translates a page number through the TLB hierarchy. An L2 hit is
+// promoted into L1.
+func (m *MMU) Lookup(key uint64) (value uint64, level LookupLevel) {
+	if v, ok := m.L1.Lookup(key); ok {
+		return v, HitL1
+	}
+	if v, ok := m.L2.Lookup(key); ok {
+		m.L1.Insert(key, v)
+		return v, HitL2
+	}
+	return 0, MissBoth
+}
+
+// Insert installs a completed translation in both levels.
+func (m *MMU) Insert(key, value uint64) {
+	m.L1.Insert(key, value)
+	m.L2.Insert(key, value)
+}
+
+// Invalidate shoots down one page from both levels.
+func (m *MMU) Invalidate(key uint64) {
+	m.L1.Invalidate(key)
+	m.L2.Invalidate(key)
+}
+
+// Flush empties both TLBs and the PTW cache (job migration, §VI).
+func (m *MMU) Flush() {
+	m.L1.Flush()
+	m.L2.Flush()
+	m.PTW.Flush()
+}

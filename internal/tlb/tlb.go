@@ -1,0 +1,143 @@
+// Package tlb models the node's hardware memory-management unit in the
+// spirit of SST's Samba module (§IV): per-core two-level TLBs (32/256
+// entries, Table II), a page-table walker, and a small page-table-walk (PTW)
+// cache that holds upper-level entries to shorten walks (the [8]
+// optimization the paper folds into its baselines).
+//
+// The same TLB and PTW-cache structures are reused by the STU for its
+// system-level translation cache and FAM-table walker.
+package tlb
+
+import "fmt"
+
+// TLB is a set-associative translation lookaside buffer mapping page
+// numbers to page numbers with LRU replacement.
+type TLB struct {
+	name    string
+	sets    uint64
+	ways    int
+	tags    []uint64
+	values  []uint64
+	valid   []bool
+	stamps  []uint64
+	tick    uint64
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// New builds a TLB with the given total entry count and associativity.
+// Entries must be a power-of-two multiple of ways.
+func New(name string, entries, ways int) (*TLB, error) {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		return nil, fmt.Errorf("tlb %s: bad geometry entries=%d ways=%d", name, entries, ways)
+	}
+	sets := uint64(entries / ways)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("tlb %s: set count %d not a power of two", name, sets)
+	}
+	n := uint64(entries)
+	return &TLB{
+		name:   name,
+		sets:   sets,
+		ways:   ways,
+		tags:   make([]uint64, n),
+		values: make([]uint64, n),
+		valid:  make([]bool, n),
+		stamps: make([]uint64, n),
+	}, nil
+}
+
+// MustNew is New for statically known-good geometries.
+func MustNew(name string, entries, ways int) *TLB {
+	t, err := New(name, entries, ways)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t *TLB) setBase(key uint64) uint64 { return (key % t.sets) * uint64(t.ways) }
+
+// Lookup searches for key, updating LRU state on hit.
+func (t *TLB) Lookup(key uint64) (value uint64, ok bool) {
+	base := t.setBase(key)
+	t.tick++
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if t.valid[i] && t.tags[i] == key {
+			t.stamps[i] = t.tick
+			t.hits++
+			return t.values[i], true
+		}
+	}
+	t.misses++
+	return 0, false
+}
+
+// Insert installs key → value, evicting the set's LRU entry if needed.
+func (t *TLB) Insert(key, value uint64) {
+	base := t.setBase(key)
+	t.tick++
+	victim := base
+	victimStamp := ^uint64(0)
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if t.valid[i] && t.tags[i] == key {
+			t.values[i] = value
+			t.stamps[i] = t.tick
+			return
+		}
+		stamp := t.stamps[i]
+		if !t.valid[i] {
+			stamp = 0
+		}
+		if stamp < victimStamp {
+			victimStamp = stamp
+			victim = i
+		}
+	}
+	t.tags[victim] = key
+	t.values[victim] = value
+	t.valid[victim] = true
+	t.stamps[victim] = t.tick
+}
+
+// Invalidate removes key if present (a single-page shootdown).
+func (t *TLB) Invalidate(key uint64) bool {
+	base := t.setBase(key)
+	for w := 0; w < t.ways; w++ {
+		i := base + uint64(w)
+		if t.valid[i] && t.tags[i] == key {
+			t.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the TLB (full shootdown, e.g. on job migration).
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.flushes++
+}
+
+// Hits returns the hit count.
+func (t *TLB) Hits() uint64 { return t.hits }
+
+// Misses returns the miss count.
+func (t *TLB) Misses() uint64 { return t.misses }
+
+// HitRate returns hits/(hits+misses), 0 when unused.
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// Name returns the TLB's name.
+func (t *TLB) Name() string { return t.name }

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"testing"
+
+	"deact/internal/addr"
+)
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 14 {
+		t.Fatalf("catalog has %d benchmarks, want 14", len(cat))
+	}
+	for _, name := range Names() {
+		p, ok := cat[name]
+		if !ok {
+			t.Fatalf("figure-order benchmark %q missing from catalog", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", name, err)
+		}
+	}
+	if len(Names()) != len(cat) {
+		t.Fatal("Names() and Catalog() disagree")
+	}
+}
+
+func TestTableIIIMPKIRecorded(t *testing.T) {
+	// Spot-check the Table III values the profiles are calibrated against.
+	want := map[string]float64{"mcf": 73, "sssp": 144, "astar": 9, "mg": 99, "ccsv": 130}
+	cat := Catalog()
+	for name, mpki := range want {
+		if cat[name].PaperMPKI != mpki {
+			t.Errorf("%s PaperMPKI = %v, want %v", name, cat[name].PaperMPKI, mpki)
+		}
+	}
+}
+
+func TestATSensitivityClassification(t *testing.T) {
+	// §V-C: bc, lu, mg, sp are the insensitive set.
+	cat := Catalog()
+	for _, name := range []string{"bc", "lu", "mg", "sp"} {
+		if cat[name].ATSensitive {
+			t.Errorf("%s must be AT-insensitive", name)
+		}
+	}
+	for _, name := range []string{"canl", "sssp", "ccsv", "cactus"} {
+		if !cat[name].ATSensitive {
+			t.Errorf("%s must be AT-sensitive", name)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	if _, err := Get("sssp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Get("doom"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestSuites(t *testing.T) {
+	s := Suites()
+	if len(s["GAP"]) != 4 {
+		t.Fatalf("GAP members = %v", s["GAP"])
+	}
+	if len(s["SPEC 2006"]) != 3 || len(s["PARSEC"]) != 2 || len(s["NAS"]) != 4 || len(s["Mantevo"]) != 1 {
+		t.Fatalf("suite partition wrong: %v", s)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good := Catalog()["mcf"]
+	bad := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.FootprintPages = 0 },
+		func(p *Profile) { p.MemPer1000 = 0 },
+		func(p *Profile) { p.MemPer1000 = 2000 },
+		func(p *Profile) { p.HotProb = 0.9; p.SeqProb = 0.9 },
+		func(p *Profile) { p.WriteProb = 1.5 },
+		func(p *Profile) { p.HotProb = 0.1; p.HotPages = 0 },
+	}
+	for i, mutate := range bad {
+		p := good
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestGeneratorDeterministicPerSeed(t *testing.T) {
+	p := Catalog()["mcf"]
+	g1, _ := NewGenerator(p, 3)
+	g2, _ := NewGenerator(p, 3)
+	g3, _ := NewGenerator(p, 4)
+	same, diff := true, false
+	for i := 0; i < 200; i++ {
+		o1, o2, o3 := g1.Next(), g2.Next(), g3.Next()
+		if o1 != o2 {
+			same = false
+		}
+		if o1 != o3 {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed diverged")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGeneratorStaysInFootprint(t *testing.T) {
+	for _, name := range Names() {
+		p := Catalog()[name]
+		g, err := NewGenerator(p, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := addr.VAddr(0x10_0000_0000) + addr.VAddr(p.FootprintPages*addr.PageSize)
+		for i := 0; i < 2000; i++ {
+			op := g.Next()
+			if op.Addr < 0x10_0000_0000 || op.Addr >= limit {
+				t.Fatalf("%s op %d at %#x outside footprint", name, i, op.Addr)
+			}
+			if op.Compute < 0 {
+				t.Fatalf("%s negative compute gap", name)
+			}
+		}
+	}
+}
+
+func TestStreamingVsChasingCharacter(t *testing.T) {
+	countPages := func(name string, n int) (distinct int, blocking int) {
+		g, _ := NewGenerator(Catalog()[name], 9)
+		pages := map[addr.VPage]bool{}
+		for i := 0; i < n; i++ {
+			op := g.Next()
+			pages[op.Addr.Page()] = true
+			if op.Blocking {
+				blocking++
+			}
+		}
+		return len(pages), blocking
+	}
+	// sssp (pointer-chasing graph) must touch far more distinct pages and
+	// block far more often than sp (streaming stencil).
+	ssspPages, ssspBlk := countPages("sssp", 20000)
+	spPages, spBlk := countPages("sp", 20000)
+	if ssspPages <= 2*spPages {
+		t.Fatalf("page spread: sssp=%d sp=%d — graph chase must dominate", ssspPages, spPages)
+	}
+	if ssspBlk <= 10*spBlk {
+		t.Fatalf("blocking: sssp=%d sp=%d", ssspBlk, spBlk)
+	}
+}
+
+func TestWriteFractionRoughlyHonored(t *testing.T) {
+	p := Catalog()["sp"] // WriteProb 0.40
+	g, _ := NewGenerator(p, 2)
+	writes := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.35 || frac > 0.45 {
+		t.Fatalf("write fraction %.3f, want ≈0.40", frac)
+	}
+}
+
+func TestMemIntensityHonored(t *testing.T) {
+	p := Catalog()["mcf"] // MemPer1000 = 330 → mean compute ≈ 2
+	g, _ := NewGenerator(p, 7)
+	total := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		total += g.Next().Compute + 1
+	}
+	perMem := float64(total) / n // instructions per memory op
+	want := 1000.0 / 330.0
+	if perMem < want*0.8 || perMem > want*1.2 {
+		t.Fatalf("instructions per memory op %.2f, want ≈%.2f", perMem, want)
+	}
+}
