@@ -26,9 +26,18 @@ import (
 )
 
 // benchOptions keeps figure benchmarks affordable on one machine while
-// still running every benchmark and scheme the figure needs.
+// still running every benchmark and scheme the figure needs. Simulations
+// run concurrently on the harness worker pool (Parallelism 0 =
+// GOMAXPROCS). Under -short (the CI smoke tier) the instruction budgets
+// and benchmark list shrink so `-bench=. -benchtime=1x -short` finishes in
+// seconds instead of paper-scale minutes.
 func benchOptions() experiments.Options {
-	return experiments.Options{Warmup: 30_000, Measure: 25_000, Cores: 1, Seed: 42}
+	o := experiments.Options{Warmup: 30_000, Measure: 25_000, Cores: 1, Seed: 42}
+	if testing.Short() {
+		o.Warmup, o.Measure = 4_000, 4_000
+		o.Benchmarks = []string{"mcf", "canl", "sp", "dc"}
+	}
+	return o
 }
 
 // sweepOptions trims the benchmark list for the many-point sweeps the same
@@ -36,6 +45,9 @@ func benchOptions() experiments.Options {
 func sweepOptions() experiments.Options {
 	o := benchOptions()
 	o.Benchmarks = []string{"mcf", "canl", "sssp", "bc", "pf", "dc"}
+	if testing.Short() {
+		o.Benchmarks = []string{"canl", "dc"}
+	}
 	return o
 }
 
@@ -199,7 +211,9 @@ func BenchmarkFigure15(b *testing.B) {
 func BenchmarkFigure16(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		o := sweepOptions()
-		o.Warmup, o.Measure = 15_000, 15_000
+		if !testing.Short() {
+			o.Warmup, o.Measure = 15_000, 15_000
+		}
 		h := experiments.New(o)
 		t, err := h.Figure16()
 		if err != nil {
@@ -296,6 +310,10 @@ func BenchmarkMemDevAccess(b *testing.B) {
 // BenchmarkEndToEnd measures whole-system simulation throughput
 // (instructions simulated per wall second) for each scheme.
 func BenchmarkEndToEnd(b *testing.B) {
+	measure := uint64(50_000)
+	if testing.Short() {
+		measure = 10_000
+	}
 	for _, scheme := range core.Schemes() {
 		b.Run(scheme.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -304,7 +322,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 				cfg.Benchmark = "mcf"
 				cfg.CoresPerNode = 1
 				cfg.WarmupInstructions = 0
-				cfg.MeasureInstructions = 50_000
+				cfg.MeasureInstructions = measure
 				r, err := core.Run(cfg)
 				if err != nil {
 					b.Fatal(err)

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	deact-report -out EXPERIMENTS.md
+//	deact-report -parallelism 8    # bound the simulation worker pool
+//
+// Independent simulations run concurrently on a worker pool of
+// -parallelism slots (default: GOMAXPROCS). The report is byte-identical
+// at every parallelism level for a given seed and scale.
 package main
 
 import (
@@ -24,10 +29,11 @@ func main() {
 		cores   = flag.Int("cores", 2, "cores per node")
 		seed    = flag.Int64("seed", 42, "random seed")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
+		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed}
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

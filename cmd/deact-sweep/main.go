@@ -9,6 +9,10 @@
 //	deact-sweep -sweep pairs      # §V-D2:     DeACT-N pairs per way
 //	deact-sweep -sweep fabric     # Figure 15: fabric latency
 //	deact-sweep -sweep nodes      # Figure 16: node count
+//
+// Every (scheme, benchmark, point) simulation of a sweep is independent;
+// they run concurrently on a worker pool of -parallelism slots (default:
+// GOMAXPROCS). Output is identical at every parallelism level.
 package main
 
 import (
@@ -29,10 +33,11 @@ func main() {
 		cores   = flag.Int("cores", 2, "cores per node")
 		seed    = flag.Int64("seed", 42, "random seed")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
+		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed}
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

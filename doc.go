@@ -10,11 +10,23 @@
 // regenerates every table and figure of the paper's evaluation
 // (experiments).
 //
+// The experiment harness schedules its hundreds of independent simulations
+// on a worker pool (experiments.Options.Parallelism; the cmds expose it as
+// -parallelism, default GOMAXPROCS) with singleflight deduplication, so
+// full-report regeneration scales with core count while staying
+// byte-identical to serial execution at the same seed.
+//
 // Entry points:
 //
 //   - cmd/deact-sim     — run one benchmark under one scheme
-//   - cmd/deact-sweep   — run one sensitivity sweep (§V-D)
-//   - cmd/deact-report  — regenerate EXPERIMENTS.md (all tables/figures)
+//   - cmd/deact-sweep   — run one sensitivity sweep (§V-D, -parallelism N)
+//   - cmd/deact-report  — regenerate EXPERIMENTS.md (all tables/figures,
+//     -parallelism N)
 //   - examples/         — five runnable walkthroughs of the public API
 //   - bench_test.go     — one testing.B benchmark per table and figure
+//     (-short selects the CI smoke scale)
+//
+// CI (.github/workflows/ci.yml) runs go build, go vet, a gofmt check,
+// go test -race, and a one-iteration -short benchmark smoke on every push
+// and pull request.
 package deact

@@ -1,0 +1,3 @@
+module deact
+
+go 1.22

@@ -18,19 +18,23 @@ func (h *Harness) ReadTrustAblation() (stats.Table, error) {
 		Title:   "§III-A ablation: DeACT-N with trusted reads (encrypted FAM) vs baseline",
 		XLabels: h.opts.benchmarks(),
 	}
-	var speedups []float64
-	for _, b := range h.opts.benchmarks() {
-		base, err := h.runDefault(core.DeACTN, b)
-		if err != nil {
-			return t, err
-		}
-		trusted, err := h.run(core.DeACTN, b, "trust-reads", func(c *core.Config) { c.TrustReads = true })
-		if err != nil {
-			return t, err
-		}
-		speedups = append(speedups, trusted.Speedup(base))
+	benches := h.opts.benchmarks()
+	var reqs []runRequest
+	for _, b := range benches {
+		reqs = append(reqs,
+			defaultReq(core.DeACTN, b),
+			runRequest{scheme: core.DeACTN, bench: b, key: "trust-reads",
+				mutate: func(c *core.Config) { c.TrustReads = true }})
 	}
-	err := t.AddSeries("trusted-read speedup", speedups)
+	pairs, err := h.runPaired(reqs)
+	if err != nil {
+		return t, err
+	}
+	var speedups []float64
+	for _, p := range pairs {
+		speedups = append(speedups, p[1].Speedup(p[0]))
+	}
+	err = t.AddSeries("trusted-read speedup", speedups)
 	return t, err
 }
 

@@ -21,14 +21,19 @@ func partition(benchmarks []string) (sensitive, insensitive []string) {
 	return sensitive, insensitive
 }
 
-// meanMetric averages metric over benches under scheme.
+// meanMetric averages metric over benches under scheme, submitting all
+// runs as one batch.
 func (h *Harness) meanMetric(scheme core.Scheme, benches []string, metric func(core.Result) float64) (float64, error) {
-	var xs []float64
+	var reqs []runRequest
 	for _, b := range benches {
-		r, err := h.runDefault(scheme, b)
-		if err != nil {
-			return 0, err
-		}
+		reqs = append(reqs, defaultReq(scheme, b))
+	}
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return 0, err
+	}
+	var xs []float64
+	for _, r := range res {
 		xs = append(xs, metric(r))
 	}
 	return stats.Mean(xs), nil
@@ -38,17 +43,13 @@ func (h *Harness) meanMetric(scheme core.Scheme, benches []string, metric func(c
 func checkFig3Ordering(h *Harness) (bool, string, error) {
 	sens, insens := partition(h.opts.benchmarks())
 	slowdown := func(benches []string) (float64, error) {
+		pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, benches)
+		if err != nil {
+			return 0, err
+		}
 		var xs []float64
-		for _, b := range benches {
-			rE, err := h.runDefault(core.EFAM, b)
-			if err != nil {
-				return 0, err
-			}
-			rI, err := h.runDefault(core.IFAM, b)
-			if err != nil {
-				return 0, err
-			}
-			xs = append(xs, rE.Speedup(rI))
+		for _, p := range pairs {
+			xs = append(xs, p[0].Speedup(p[1]))
 		}
 		return stats.Geomean(xs), nil
 	}
@@ -67,16 +68,13 @@ func checkFig3Ordering(h *Harness) (bool, string, error) {
 func checkFig4Blowup(h *Harness) (bool, string, error) {
 	worstGap := 1.0
 	var worstBench string
-	for _, b := range h.opts.benchmarks() {
-		rE, err := h.runDefault(core.EFAM, b)
-		if err != nil {
-			return false, "", err
-		}
-		rI, err := h.runDefault(core.IFAM, b)
-		if err != nil {
-			return false, "", err
-		}
-		gap := rI.ATFraction - rE.ATFraction
+	benches := h.opts.benchmarks()
+	pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, benches)
+	if err != nil {
+		return false, "", err
+	}
+	for i, b := range benches {
+		gap := pairs[i][1].ATFraction - pairs[i][0].ATFraction
 		if gap < worstGap {
 			worstGap, worstBench = gap, b
 		}
@@ -114,16 +112,12 @@ func checkFig10DeACTHigh(h *Harness) (bool, string, error) {
 	sens, _ := partition(h.opts.benchmarks())
 	worst := 1.0
 	var worstBench string
-	for _, b := range sens {
-		rI, err := h.runDefault(core.IFAM, b)
-		if err != nil {
-			return false, "", err
-		}
-		rD, err := h.runDefault(core.DeACTN, b)
-		if err != nil {
-			return false, "", err
-		}
-		gap := rD.TranslationHitRate - rI.TranslationHitRate
+	pairs, err := h.pairedDefaults(core.IFAM, core.DeACTN, sens)
+	if err != nil {
+		return false, "", err
+	}
+	for i, b := range sens {
+		gap := pairs[i][1].TranslationHitRate - pairs[i][0].TranslationHitRate
 		if gap < worst {
 			worst, worstBench = gap, b
 		}

@@ -15,19 +15,15 @@ func (h *Harness) Figure3() (stats.Table, error) {
 		Title:   "Figure 3: Slowdown of I-FAM wrt E-FAM (×)",
 		XLabels: h.opts.benchmarks(),
 	}
-	var slow []float64
-	for _, b := range h.opts.benchmarks() {
-		rE, err := h.runDefault(core.EFAM, b)
-		if err != nil {
-			return t, err
-		}
-		rI, err := h.runDefault(core.IFAM, b)
-		if err != nil {
-			return t, err
-		}
-		slow = append(slow, rE.Speedup(rI))
+	pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, h.opts.benchmarks())
+	if err != nil {
+		return t, err
 	}
-	err := t.AddSeries("I-FAM slowdown", slow)
+	var slow []float64
+	for _, p := range pairs {
+		slow = append(slow, p[0].Speedup(p[1]))
+	}
+	err = t.AddSeries("I-FAM slowdown", slow)
 	return t, err
 }
 
@@ -39,12 +35,13 @@ func (h *Harness) Figure4() (stats.Table, error) {
 		XLabels: h.opts.benchmarks(),
 		Format:  "%.1f",
 	}
-	for _, scheme := range []core.Scheme{core.EFAM, core.IFAM} {
-		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ATFraction * 100 })
-		if err != nil {
-			return t, err
-		}
-		if err := t.AddSeries(scheme.String()+" AT", vals); err != nil {
+	schemes := []core.Scheme{core.EFAM, core.IFAM}
+	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ATFraction * 100 })
+	if err != nil {
+		return t, err
+	}
+	for i, scheme := range schemes {
+		if err := t.AddSeries(scheme.String()+" AT", rows[i]); err != nil {
 			return t, err
 		}
 	}
@@ -59,12 +56,13 @@ func (h *Harness) Figure9() (stats.Table, error) {
 		XLabels: h.opts.benchmarks(),
 		Format:  "%.1f",
 	}
-	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN} {
-		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ACMHitRate * 100 })
-		if err != nil {
-			return t, err
-		}
-		if err := t.AddSeries(scheme.String(), vals); err != nil {
+	schemes := []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN}
+	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ACMHitRate * 100 })
+	if err != nil {
+		return t, err
+	}
+	for i, scheme := range schemes {
+		if err := t.AddSeries(scheme.String(), rows[i]); err != nil {
 			return t, err
 		}
 	}
@@ -79,16 +77,17 @@ func (h *Harness) Figure10() (stats.Table, error) {
 		XLabels: h.opts.benchmarks(),
 		Format:  "%.1f",
 	}
-	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTN} {
-		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.TranslationHitRate * 100 })
-		if err != nil {
-			return t, err
-		}
+	schemes := []core.Scheme{core.IFAM, core.DeACTN}
+	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.TranslationHitRate * 100 })
+	if err != nil {
+		return t, err
+	}
+	for i, scheme := range schemes {
 		name := scheme.String()
 		if scheme == core.DeACTN {
 			name = "DeACT"
 		}
-		if err := t.AddSeries(name, vals); err != nil {
+		if err := t.AddSeries(name, rows[i]); err != nil {
 			return t, err
 		}
 	}
@@ -103,12 +102,13 @@ func (h *Harness) Figure11() (stats.Table, error) {
 		XLabels: h.opts.benchmarks(),
 		Format:  "%.1f",
 	}
-	for _, scheme := range []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN} {
-		vals, err := h.perBenchmark(scheme, func(r core.Result) float64 { return r.ATFraction * 100 })
-		if err != nil {
-			return t, err
-		}
-		if err := t.AddSeries(scheme.String(), vals); err != nil {
+	schemes := []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN}
+	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ATFraction * 100 })
+	if err != nil {
+		return t, err
+	}
+	for i, scheme := range schemes {
+		if err := t.AddSeries(scheme.String(), rows[i]); err != nil {
 			return t, err
 		}
 	}
@@ -116,28 +116,35 @@ func (h *Harness) Figure11() (stats.Table, error) {
 }
 
 // Figure12 regenerates the headline performance chart: per-benchmark
-// performance normalized to E-FAM for all four schemes.
+// performance normalized to E-FAM for all four schemes. The whole
+// scheme×benchmark grid is one batch; the E-FAM baseline deduplicates
+// against its row in the grid.
 func (h *Harness) Figure12() (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 12: Performance normalized to E-FAM",
 		XLabels: h.opts.benchmarks(),
 	}
-	base := map[string]core.Result{}
-	for _, b := range h.opts.benchmarks() {
-		r, err := h.runDefault(core.EFAM, b)
-		if err != nil {
-			return t, err
+	benches := h.opts.benchmarks()
+	schemes := core.Schemes()
+	reqs := make([]runRequest, 0, len(benches)*len(schemes))
+	baseRow := 0
+	for i, scheme := range schemes {
+		if scheme == core.EFAM {
+			baseRow = i
 		}
-		base[b] = r
+		for _, b := range benches {
+			reqs = append(reqs, defaultReq(scheme, b))
+		}
 	}
-	for _, scheme := range core.Schemes() {
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return t, err
+	}
+	base := res[baseRow*len(benches) : (baseRow+1)*len(benches)]
+	for i, scheme := range schemes {
 		var vals []float64
-		for _, b := range h.opts.benchmarks() {
-			r, err := h.runDefault(scheme, b)
-			if err != nil {
-				return t, err
-			}
-			vals = append(vals, r.Speedup(base[b]))
+		for j := range benches {
+			vals = append(vals, res[i*len(benches)+j].Speedup(base[j]))
 		}
 		if err := t.AddSeries(scheme.String(), vals); err != nil {
 			return t, err
@@ -148,20 +155,39 @@ func (h *Harness) Figure12() (stats.Table, error) {
 
 // sensitivitySweep builds a Figure 13/15-style table: one series per
 // sensitivity group, one column per sweep point, values = geomean DeACT-N
-// speedup over I-FAM at that point.
+// speedup over I-FAM at that point. Every (group, point, member) run —
+// DeACT-N and its I-FAM baseline — is submitted as one declarative batch,
+// so the entire sweep overlaps across groups and sweep points.
 func (h *Harness) sensitivitySweep(title string, labels []string, keys []string, mutates []func(*core.Config)) (stats.Table, error) {
 	t := stats.Table{Title: title, XLabels: labels}
-	for _, g := range h.sensitivityGroups() {
+	groups := h.sensitivityGroups()
+	var reqs []runRequest
+	for _, g := range groups {
+		for i := range labels {
+			for _, b := range g.members {
+				reqs = append(reqs,
+					runRequest{scheme: core.DeACTN, bench: b, key: keys[i], mutate: mutates[i]},
+					runRequest{scheme: core.IFAM, bench: b, key: keys[i], mutate: mutates[i]})
+			}
+		}
+	}
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return t, err
+	}
+	idx := 0
+	for _, g := range groups {
 		if len(g.members) == 0 {
 			continue
 		}
 		var vals []float64
-		for i := range labels {
-			v, err := h.speedupOverIFAM(g, core.DeACTN, keys[i], mutates[i])
-			if err != nil {
-				return t, err
+		for range labels {
+			var ratios []float64
+			for range g.members {
+				ratios = append(ratios, res[idx].Speedup(res[idx+1]))
+				idx += 2
 			}
-			vals = append(vals, v)
+			vals = append(vals, stats.Geomean(ratios))
 		}
 		if err := t.AddSeries(g.name, vals); err != nil {
 			return t, err
@@ -201,28 +227,52 @@ func (h *Harness) AssociativitySweep() (stats.Table, error) {
 }
 
 // Figure14 sweeps the ACM width (8/16/32 bits) for DeACT-W and DeACT-N,
-// normalized to I-FAM at the same width.
+// normalized to I-FAM at the same width. All groups, schemes and widths go
+// out as one batch.
 func (h *Harness) Figure14() (stats.Table, error) {
 	widths := []uint{8, 16, 32}
 	var labels []string
+	var keys []string
+	var mutates []func(*core.Config)
 	for _, w := range widths {
+		w := w
 		labels = append(labels, fmt.Sprintf("%db", w))
+		keys = append(keys, fmt.Sprintf("acm=%d", w))
+		mutates = append(mutates, func(c *core.Config) { c.Layout.ACMBits = w })
 	}
 	t := stats.Table{Title: "Figure 14: speedup wrt I-FAM vs ACM size", XLabels: labels}
-	for _, g := range h.sensitivityGroups() {
+	groups := h.sensitivityGroups()
+	schemes := []core.Scheme{core.DeACTW, core.DeACTN}
+	var reqs []runRequest
+	for _, g := range groups {
+		for _, scheme := range schemes {
+			for i := range widths {
+				for _, b := range g.members {
+					reqs = append(reqs,
+						runRequest{scheme: scheme, bench: b, key: keys[i], mutate: mutates[i]},
+						runRequest{scheme: core.IFAM, bench: b, key: keys[i], mutate: mutates[i]})
+				}
+			}
+		}
+	}
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return t, err
+	}
+	idx := 0
+	for _, g := range groups {
 		if len(g.members) == 0 {
 			continue
 		}
-		for _, scheme := range []core.Scheme{core.DeACTW, core.DeACTN} {
+		for _, scheme := range schemes {
 			var vals []float64
-			for _, w := range widths {
-				w := w
-				key := fmt.Sprintf("acm=%d", w)
-				v, err := h.speedupOverIFAM(g, scheme, key, func(c *core.Config) { c.Layout.ACMBits = w })
-				if err != nil {
-					return t, err
+			for range widths {
+				var ratios []float64
+				for range g.members {
+					ratios = append(ratios, res[idx].Speedup(res[idx+1]))
+					idx += 2
 				}
-				vals = append(vals, v)
+				vals = append(vals, stats.Geomean(ratios))
 			}
 			if err := t.AddSeries(fmt.Sprintf("%s %s", g.name, scheme), vals); err != nil {
 				return t, err
@@ -270,34 +320,42 @@ func (h *Harness) Figure15() (stats.Table, error) {
 func (h *Harness) Figure16() (stats.Table, error) {
 	counts := []int{1, 2, 4, 8}
 	var labels []string
+	var mutates []func(*core.Config)
+	var keys []string
 	for _, n := range counts {
+		n := n
 		labels = append(labels, fmt.Sprintf("%d", n))
+		keys = append(keys, fmt.Sprintf("nodes=%d", n))
+		mutates = append(mutates, func(c *core.Config) { c.Nodes = n })
 	}
 	t := stats.Table{Title: "Figure 16: DeACT-N speedup wrt I-FAM vs number of nodes", XLabels: labels}
+	var benches []string
 	for _, bench := range []string{"pf", "dc"} {
-		found := false
 		for _, b := range h.opts.benchmarks() {
 			if b == bench {
-				found = true
+				benches = append(benches, bench)
+				break
 			}
 		}
-		if !found {
-			continue
+	}
+	var reqs []runRequest
+	for _, bench := range benches {
+		for i := range counts {
+			reqs = append(reqs,
+				runRequest{scheme: core.DeACTN, bench: bench, key: keys[i], mutate: mutates[i]},
+				runRequest{scheme: core.IFAM, bench: bench, key: keys[i], mutate: mutates[i]})
 		}
+	}
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return t, err
+	}
+	idx := 0
+	for _, bench := range benches {
 		var vals []float64
-		for _, nn := range counts {
-			nn := nn
-			key := fmt.Sprintf("nodes=%d", nn)
-			mutate := func(c *core.Config) { c.Nodes = nn }
-			rN, err := h.run(core.DeACTN, bench, key, mutate)
-			if err != nil {
-				return t, err
-			}
-			rI, err := h.run(core.IFAM, bench, key, mutate)
-			if err != nil {
-				return t, err
-			}
-			vals = append(vals, rN.Speedup(rI))
+		for range counts {
+			vals = append(vals, res[idx].Speedup(res[idx+1]))
+			idx += 2
 		}
 		if err := t.AddSeries(bench, vals); err != nil {
 			return t, err

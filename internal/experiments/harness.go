@@ -7,6 +7,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"deact/internal/core"
 	"deact/internal/sim"
@@ -28,6 +30,13 @@ type Options struct {
 	Seed int64
 	// Benchmarks restricts the benchmark set (default: all 14).
 	Benchmarks []string
+	// Parallelism bounds how many core.Run simulations execute
+	// concurrently. 0 (the default) means runtime.GOMAXPROCS(0); 1
+	// reproduces the old strictly-serial harness. Results and
+	// CachedRuns() are identical at every setting: runs are
+	// deduplicated singleflight-style and assembled in submission
+	// order, and each simulation is deterministic given its config.
+	Parallelism int
 }
 
 // DefaultOptions returns the scale used for EXPERIMENTS.md.
@@ -43,11 +52,33 @@ func (o Options) benchmarks() []string {
 	return workload.Names()
 }
 
-// Harness caches runs so figures sharing configurations (3, 4, 9–12 all
-// reuse the default-parameter runs) do not recompute them.
+// parallelism returns the effective worker-pool size.
+func (o Options) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runEntry is the singleflight slot for one distinct (scheme, bench, key)
+// configuration: the first requester computes, everyone else waits on done.
+type runEntry struct {
+	done chan struct{} // closed when res/err are valid
+	res  core.Result
+	err  error
+}
+
+// Harness schedules simulation runs for the figure and table generators.
+// Requests are deduplicated so figures sharing configurations (3, 4, 9–12
+// all reuse the default-parameter runs) compute each distinct
+// (scheme, bench, key) exactly once, and executed by a worker pool of
+// Options.Parallelism slots so independent runs overlap.
 type Harness struct {
-	opts  Options
-	cache map[string]core.Result
+	opts Options
+	sem  chan struct{} // worker-pool slots: at most cap(sem) core.Run calls in flight
+
+	mu   sync.Mutex
+	runs map[string]*runEntry
 }
 
 // New builds a harness.
@@ -58,7 +89,11 @@ func New(opts Options) *Harness {
 	if opts.Measure == 0 {
 		opts.Measure = 60_000
 	}
-	return &Harness{opts: opts, cache: map[string]core.Result{}}
+	return &Harness{
+		opts: opts,
+		sem:  make(chan struct{}, opts.parallelism()),
+		runs: map[string]*runEntry{},
+	}
 }
 
 // baseConfig derives the core config for one benchmark/scheme pair.
@@ -73,23 +108,36 @@ func (h *Harness) baseConfig(scheme core.Scheme, bench string) core.Config {
 	return cfg
 }
 
-// run executes (with caching) the configuration produced by applying mutate
-// to the base config.
+// run executes (with singleflight deduplication) the configuration produced
+// by applying mutate to the base config. Concurrent callers of the same
+// (scheme, bench, key) share one simulation; distinct configurations run in
+// parallel up to the pool size.
 func (h *Harness) run(scheme core.Scheme, bench string, key string, mutate func(*core.Config)) (core.Result, error) {
 	cacheKey := fmt.Sprintf("%v|%s|%s", scheme, bench, key)
-	if r, ok := h.cache[cacheKey]; ok {
-		return r, nil
+	h.mu.Lock()
+	if e, ok := h.runs[cacheKey]; ok {
+		h.mu.Unlock()
+		<-e.done
+		return e.res, e.err
 	}
+	e := &runEntry{done: make(chan struct{})}
+	h.runs[cacheKey] = e
+	h.mu.Unlock()
+
+	h.sem <- struct{}{} // acquire a worker slot
 	cfg := h.baseConfig(scheme, bench)
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	r, err := core.Run(cfg)
+	<-h.sem
 	if err != nil {
-		return core.Result{}, fmt.Errorf("experiments: %s under %v (%s): %w", bench, scheme, key, err)
+		e.err = fmt.Errorf("experiments: %s under %v (%s): %w", bench, scheme, key, err)
+	} else {
+		e.res = r
 	}
-	h.cache[cacheKey] = r
-	return r, nil
+	close(e.done)
+	return e.res, e.err
 }
 
 // runDefault executes the unmutated config for (scheme, bench).
@@ -98,15 +146,37 @@ func (h *Harness) runDefault(scheme core.Scheme, bench string) (core.Result, err
 }
 
 // perBenchmark evaluates metric for every benchmark under scheme with the
-// default parameters.
+// default parameters, running the simulations concurrently.
 func (h *Harness) perBenchmark(scheme core.Scheme, metric func(core.Result) float64) ([]float64, error) {
-	var out []float64
-	for _, b := range h.opts.benchmarks() {
-		r, err := h.runDefault(scheme, b)
-		if err != nil {
-			return nil, err
+	rows, err := h.perBenchmarkSchemes([]core.Scheme{scheme}, metric)
+	if err != nil {
+		return nil, err
+	}
+	return rows[0], nil
+}
+
+// perBenchmarkSchemes evaluates metric for every benchmark under each
+// scheme, submitting the whole scheme×benchmark grid as one batch so all
+// runs overlap. Row i corresponds to schemes[i] in benchmark order.
+func (h *Harness) perBenchmarkSchemes(schemes []core.Scheme, metric func(core.Result) float64) ([][]float64, error) {
+	benches := h.opts.benchmarks()
+	var reqs []runRequest
+	for _, s := range schemes {
+		for _, b := range benches {
+			reqs = append(reqs, defaultReq(s, b))
 		}
-		out = append(out, metric(r))
+	}
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, len(schemes))
+	for i := range schemes {
+		row := make([]float64, len(benches))
+		for j := range benches {
+			row[j] = metric(res[i*len(benches)+j])
+		}
+		out[i] = row
 	}
 	return out, nil
 }
@@ -145,19 +215,21 @@ type sensGroup struct {
 
 // speedupOverIFAM computes geomean over group members of
 // IPC(scheme,key)/IPC(I-FAM,key) under the same mutation — the y-axis of
-// Figures 13–16.
+// Figures 13–16. Both runs of every member pair are submitted together.
 func (h *Harness) speedupOverIFAM(g sensGroup, scheme core.Scheme, key string, mutate func(*core.Config)) (float64, error) {
-	var ratios []float64
+	var reqs []runRequest
 	for _, b := range g.members {
-		rS, err := h.run(scheme, b, key, mutate)
-		if err != nil {
-			return 0, err
-		}
-		rI, err := h.run(core.IFAM, b, key, mutate)
-		if err != nil {
-			return 0, err
-		}
-		ratios = append(ratios, rS.Speedup(rI))
+		reqs = append(reqs,
+			runRequest{scheme: scheme, bench: b, key: key, mutate: mutate},
+			runRequest{scheme: core.IFAM, bench: b, key: key, mutate: mutate})
+	}
+	pairs, err := h.runPaired(reqs)
+	if err != nil {
+		return 0, err
+	}
+	var ratios []float64
+	for _, p := range pairs {
+		ratios = append(ratios, p[0].Speedup(p[1]))
 	}
 	return stats.Geomean(ratios), nil
 }
@@ -165,8 +237,24 @@ func (h *Harness) speedupOverIFAM(g sensGroup, scheme core.Scheme, key string, m
 // Options returns the harness options.
 func (h *Harness) Options() Options { return h.opts }
 
-// CachedRuns reports how many distinct runs the harness has performed.
-func (h *Harness) CachedRuns() int { return len(h.cache) }
+// CachedRuns reports how many distinct simulations the harness has
+// completed successfully — identical at every Parallelism setting thanks
+// to the singleflight deduplication.
+func (h *Harness) CachedRuns() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, e := range h.runs {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				n++
+			}
+		default:
+		}
+	}
+	return n
+}
 
 // nsLabel formats a fabric latency for figure x-labels.
 func nsLabel(t sim.Time) string {

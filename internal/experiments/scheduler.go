@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sync"
+
+	"deact/internal/core"
+)
+
+// runRequest declares one simulation: the scheme/benchmark pair plus the
+// mutation (identified by key) applied to the base config. Generators build
+// a batch of requests up front and submit it with runAll, so every
+// independent simulation a figure needs can overlap with the others.
+type runRequest struct {
+	scheme core.Scheme
+	bench  string
+	key    string
+	mutate func(*core.Config)
+}
+
+// defaultReq declares an unmutated (scheme, bench) run.
+func defaultReq(scheme core.Scheme, bench string) runRequest {
+	return runRequest{scheme: scheme, bench: bench, key: "default"}
+}
+
+// runAll executes every request through the worker pool and returns the
+// results in request order. Duplicate requests — within the batch or
+// against previously executed runs — share one simulation. The error
+// reported is the first failing request in submission order, so error
+// behaviour is deterministic regardless of execution interleaving.
+func (h *Harness) runAll(reqs []runRequest) ([]core.Result, error) {
+	results := make([]core.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, rq := range reqs {
+		wg.Add(1)
+		go func(i int, rq runRequest) {
+			defer wg.Done()
+			results[i], errs[i] = h.run(rq.scheme, rq.bench, rq.key, rq.mutate)
+		}(i, rq)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runPaired executes an interleaved (a0, b0, a1, b1, …) batch through the
+// pool and returns the results as pairs — the shape every "scheme vs its
+// baseline" experiment consumes.
+func (h *Harness) runPaired(reqs []runRequest) ([][2]core.Result, error) {
+	res, err := h.runAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]core.Result, len(res)/2)
+	for i := range pairs {
+		pairs[i] = [2]core.Result{res[2*i], res[2*i+1]}
+	}
+	return pairs, nil
+}
+
+// pairedDefaults runs (a, b) defaults for every benchmark in one batch and
+// returns the result pairs in benchmark order.
+func (h *Harness) pairedDefaults(a, b core.Scheme, benches []string) ([][2]core.Result, error) {
+	var reqs []runRequest
+	for _, bench := range benches {
+		reqs = append(reqs, defaultReq(a, bench), defaultReq(b, bench))
+	}
+	return h.runPaired(reqs)
+}
+
+// prefetchDefaults warms the run cache with the full scheme×benchmark grid
+// of default-parameter simulations. Report calls it first so Table III and
+// Figures 3, 4, 9–12 — which all draw on these runs — assemble from cache
+// hits instead of each paying for its own subset serially.
+func (h *Harness) prefetchDefaults() error {
+	var reqs []runRequest
+	for _, s := range core.Schemes() {
+		for _, b := range h.opts.benchmarks() {
+			reqs = append(reqs, defaultReq(s, b))
+		}
+	}
+	_, err := h.runAll(reqs)
+	return err
+}

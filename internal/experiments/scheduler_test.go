@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"deact/internal/core"
+)
+
+// schedOptions is a deliberately tiny scale: scheduler tests exercise
+// concurrency and determinism, not simulation fidelity.
+func schedOptions(parallelism int) Options {
+	return Options{
+		Warmup: 3_000, Measure: 3_000, Cores: 1, Seed: 42,
+		Benchmarks:  []string{"mcf", "canl", "dc"},
+		Parallelism: parallelism,
+	}
+}
+
+// schedBatch is a request mix with deliberate duplicates (the Figure 3/12
+// sharing pattern) and a mutated configuration.
+func schedBatch() []runRequest {
+	stu512 := func(c *core.Config) { c.STUEntries = 512 }
+	return []runRequest{
+		defaultReq(core.EFAM, "mcf"),
+		defaultReq(core.IFAM, "mcf"),
+		defaultReq(core.EFAM, "mcf"), // duplicate of request 0
+		defaultReq(core.DeACTN, "canl"),
+		{scheme: core.DeACTN, bench: "canl", key: "stu=512", mutate: stu512},
+		{scheme: core.IFAM, bench: "canl", key: "stu=512", mutate: stu512},
+		defaultReq(core.DeACTN, "canl"), // duplicate of request 3
+		defaultReq(core.DeACTW, "dc"),
+	}
+}
+
+// TestParallelMatchesSerial is the scheduler's core contract: a parallel
+// harness produces the same core.Result values, in the same order, and the
+// same CachedRuns() count as the serial (Parallelism = 1) harness.
+func TestParallelMatchesSerial(t *testing.T) {
+	serial := New(schedOptions(1))
+	parallel := New(schedOptions(8))
+
+	rs, err := serial.runAll(schedBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.runAll(schedBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatalf("parallel results differ from serial:\nserial:   %+v\nparallel: %+v", rs, rp)
+	}
+	if serial.CachedRuns() != parallel.CachedRuns() {
+		t.Fatalf("CachedRuns: serial %d, parallel %d", serial.CachedRuns(), parallel.CachedRuns())
+	}
+}
+
+// TestRunAllDeduplicates: duplicate requests — both within one batch and
+// across batches — must simulate each distinct (scheme, bench, key)
+// exactly once.
+func TestRunAllDeduplicates(t *testing.T) {
+	h := New(schedOptions(4))
+	batch := schedBatch()
+	res, err := h.runAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 6 // 8 requests, 2 duplicates
+	if got := h.CachedRuns(); got != distinct {
+		t.Fatalf("CachedRuns = %d, want %d", got, distinct)
+	}
+	if !reflect.DeepEqual(res[0], res[2]) || !reflect.DeepEqual(res[3], res[6]) {
+		t.Fatal("duplicate requests returned different results")
+	}
+	// Resubmitting the whole batch must be pure cache hits.
+	res2, err := h.runAll(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.CachedRuns() != distinct {
+		t.Fatalf("resubmission grew CachedRuns to %d", h.CachedRuns())
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatal("resubmitted batch returned different results")
+	}
+}
+
+// TestRunAllErrorDeterministic: the reported error is the first failing
+// request in submission order, whatever the execution interleaving.
+func TestRunAllErrorDeterministic(t *testing.T) {
+	h := New(schedOptions(4))
+	bad := func(c *core.Config) { c.CoresPerNode = -1 }
+	reqs := []runRequest{
+		defaultReq(core.EFAM, "mcf"),
+		{scheme: core.IFAM, bench: "mcf", key: "bad", mutate: bad},
+		{scheme: core.DeACTN, bench: "canl", key: "bad", mutate: bad},
+	}
+	_, err := h.runAll(reqs)
+	if err == nil {
+		t.Fatal("expected an error from the invalid configs")
+	}
+	want := "experiments: mcf under I-FAM (bad)"
+	if !strings.HasPrefix(err.Error(), want) {
+		t.Fatalf("error is not the first failing request in order: %v", err)
+	}
+}
+
+// TestConcurrentGenerators drives two figure generators over one shared
+// harness from separate goroutines with Parallelism > 1 — the -race
+// exercise for the dedup map and worker pool.
+func TestConcurrentGenerators(t *testing.T) {
+	h := New(schedOptions(4))
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() { defer wg.Done(); _, errs[0] = h.Figure4() }()
+	go func() { defer wg.Done(); _, errs[1] = h.Figure11() }()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Figures 4 and 11 share the I-FAM default runs: 4 wants E-FAM +
+	// I-FAM, 11 wants I-FAM + DeACT-W + DeACT-N → 4 schemes × 3 benches.
+	if got := h.CachedRuns(); got != 12 {
+		t.Fatalf("CachedRuns = %d, want 12 (shared runs must dedup)", got)
+	}
+}
+
+// TestReportByteIdenticalAcrossParallelism is the acceptance check for
+// cmd/deact-report: the full report must be byte-identical between the
+// serial harness and a maximally parallel one at the same seed.
+func TestReportByteIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report is slow")
+	}
+	o := Options{Warmup: 8_000, Measure: 8_000, Cores: 1, Seed: 42,
+		Benchmarks: []string{"canl", "sp", "pf", "dc"}}
+	var serial, parallel bytes.Buffer
+	o.Parallelism = 1
+	if err := Report(&serial, o); err != nil {
+		t.Fatal(err)
+	}
+	o.Parallelism = 8
+	if err := Report(&parallel, o); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Fatalf("report differs between Parallelism=1 and Parallelism=8:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}

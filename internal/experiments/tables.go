@@ -52,18 +52,17 @@ func (h *Harness) TableIII() (stats.Table, error) {
 		XLabels: h.opts.benchmarks(),
 		Format:  "%.0f",
 	}
-	var paperVals, measured []float64
+	var paperVals []float64
 	for _, b := range h.opts.benchmarks() {
 		p, err := workload.Get(b)
 		if err != nil {
 			return t, err
 		}
 		paperVals = append(paperVals, p.PaperMPKI)
-		r, err := h.runDefault(core.EFAM, b)
-		if err != nil {
-			return t, err
-		}
-		measured = append(measured, r.MPKI)
+	}
+	measured, err := h.perBenchmark(core.EFAM, func(r core.Result) float64 { return r.MPKI })
+	if err != nil {
+		return t, err
 	}
 	if err := t.AddSeries("paper", paperVals); err != nil {
 		return t, err
