@@ -4,7 +4,8 @@
 // Usage:
 //
 //	deact-report -out EXPERIMENTS.md
-//	deact-report -parallelism 8    # bound the simulation worker pool
+//	deact-report -parallelism 8        # bound the simulation worker pool
+//	deact-report -cpuprofile cpu.prof  # profile the hot simulation paths
 //
 // Independent simulations run concurrently on a worker pool of
 // -parallelism slots (default: GOMAXPROCS). The report is byte-identical
@@ -16,12 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"deact/internal/experiments"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deact-report:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole report generation so defers (profile flush, file
+// close) execute on error paths too, instead of being skipped by os.Exit.
+func run() error {
 	var (
 		out     = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
 		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core")
@@ -30,8 +41,26 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
 		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		profile = flag.String("cpuprofile", "", "write a CPU profile of the full report run to this file")
 	)
 	flag.Parse()
+
+	if *profile != "" {
+		pf, err := os.Create(*profile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := pf.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "deact-report:", err)
+			}
+		}()
+	}
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
 	if *benches != "" {
@@ -44,24 +73,22 @@ func main() {
 		var err error
 		f, err = os.Create(*out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "deact-report:", err)
-			os.Exit(1)
+			return err
 		}
+		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
 	if err := experiments.Report(w, opts); err != nil {
-		fmt.Fprintln(os.Stderr, "deact-report:", err)
-		os.Exit(1)
+		return err
 	}
 	if err := w.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "deact-report:", err)
-		os.Exit(1)
+		return err
 	}
 	if f != nil {
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "deact-report:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+	return nil
 }

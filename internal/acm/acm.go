@@ -95,10 +95,24 @@ func Decode(raw uint32, acmBits uint) Entry {
 	}
 }
 
+// slot is one stored per-page entry plus its presence marker (so a page
+// explicitly set to the zero Entry is distinguishable from an unallocated
+// page).
+type slot struct {
+	e  Entry
+	ok bool
+}
+
 // Store holds the metadata contents for one FAM pool.
+//
+// Per-page entries are stored in dense per-1GB-region chunks rather than a
+// map: the ACM check sits on the per-FAM-access hot path of every scheme,
+// and a chunk index + array load is both allocation-free and an order of
+// magnitude cheaper than hashing. Chunks materialize on first write, so
+// memory scales with the regions actually touched.
 type Store struct {
-	layout  addr.Layout
-	entries map[addr.FPage]Entry
+	layout addr.Layout
+	chunks [][]slot // indexed [page/PagesPerHuge][page%PagesPerHuge]
 	// shared[huge][node] = permission granted to node in the 1GB region.
 	shared map[uint64]map[uint16]Perm
 
@@ -107,11 +121,30 @@ type Store struct {
 
 // NewStore builds an empty metadata store for the pool described by layout.
 func NewStore(layout addr.Layout) *Store {
+	regions := (layout.FAMSize + addr.HugeSize - 1) / addr.HugeSize
 	return &Store{
-		layout:  layout,
-		entries: map[addr.FPage]Entry{},
-		shared:  map[uint64]map[uint16]Perm{},
+		layout: layout,
+		chunks: make([][]slot, regions),
+		shared: map[uint64]map[uint16]Perm{},
 	}
+}
+
+// chunkFor returns the chunk holding p, materializing it if create is set.
+func (s *Store) chunkFor(p addr.FPage, create bool) []slot {
+	idx := p.Huge()
+	for idx >= uint64(len(s.chunks)) {
+		// Out-of-pool pages (tests use synthetic layouts) grow the index.
+		if !create {
+			return nil
+		}
+		s.chunks = append(s.chunks, nil)
+	}
+	c := s.chunks[idx]
+	if c == nil && create {
+		c = make([]slot, addr.PagesPerHuge)
+		s.chunks[idx] = c
+	}
+	return c
 }
 
 // Set installs the metadata entry for page p.
@@ -119,25 +152,32 @@ func (s *Store) Set(p addr.FPage, e Entry) error {
 	if _, err := Encode(e, s.layout.ACMBits); err != nil {
 		return err
 	}
-	s.entries[p] = e
+	s.chunkFor(p, true)[uint64(p)%addr.PagesPerHuge] = slot{e: e, ok: true}
 	s.writes++
 	return nil
 }
 
 // Clear removes the entry for p (page freed).
 func (s *Store) Clear(p addr.FPage) {
-	delete(s.entries, p)
+	if c := s.chunkFor(p, false); c != nil {
+		c[uint64(p)%addr.PagesPerHuge] = slot{}
+	}
 	s.writes++
 }
 
 // Entry returns the metadata for p; unallocated pages decode as
 // {Owner:0, Perm:PermNone}, which denies everyone.
-func (s *Store) Entry(p addr.FPage) Entry { return s.entries[p] }
+func (s *Store) Entry(p addr.FPage) Entry {
+	if c := s.chunkFor(p, false); c != nil {
+		return c[uint64(p)%addr.PagesPerHuge].e
+	}
+	return Entry{}
+}
 
 // Has reports whether p has an installed metadata entry.
 func (s *Store) Has(p addr.FPage) bool {
-	_, ok := s.entries[p]
-	return ok
+	c := s.chunkFor(p, false)
+	return c != nil && c[uint64(p)%addr.PagesPerHuge].ok
 }
 
 // MarkShared flags every 4KB sub-page of the 1GB region as shared (the
@@ -145,9 +185,10 @@ func (s *Store) Has(p addr.FPage) bool {
 // becomes shared) with the given default permission.
 func (s *Store) MarkShared(huge uint64, defaultPerm Perm) {
 	marker := SharedOwner(s.layout.ACMBits)
-	base := addr.FPage(huge * addr.PagesPerHuge)
-	for i := uint64(0); i < addr.PagesPerHuge; i++ {
-		s.entries[base+addr.FPage(i)] = Entry{Owner: marker, Perm: defaultPerm}
+	c := s.chunkFor(addr.FPage(huge*addr.PagesPerHuge), true)
+	fill := slot{e: Entry{Owner: marker, Perm: defaultPerm}, ok: true}
+	for i := range c {
+		c[i] = fill
 	}
 	s.writes++
 	if s.shared[huge] == nil {

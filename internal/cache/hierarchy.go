@@ -47,6 +47,7 @@ type HierarchyConfig struct {
 type Hierarchy struct {
 	l1, l2 []*Cache
 	l3     *Cache
+	wbBuf  []uint64 // reused writeback scratch, returned by Access
 }
 
 // NewHierarchy builds the hierarchy.
@@ -77,9 +78,11 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 
 // Access performs a load or store by core on the physical block containing
 // a. It returns the level that served the access and any dirty blocks that
-// must be written back to memory as a result of evictions.
+// must be written back to memory as a result of evictions. The returned
+// slice aliases an internal scratch buffer and is only valid until the next
+// Access call; callers consume it immediately.
 func (h *Hierarchy) Access(core int, a uint64, write bool) (HitLevel, []uint64) {
-	var writebacks []uint64
+	writebacks := h.wbBuf[:0]
 	l1, l2 := h.l1[core], h.l2[core]
 
 	if hit, _, _ := l1.Access(a, write); hit {
@@ -109,6 +112,7 @@ func (h *Hierarchy) Access(core int, a uint64, write bool) (HitLevel, []uint64) 
 			writebacks = append(writebacks, victim.Addr)
 		}
 	}
+	h.wbBuf = writebacks
 	if hit {
 		return L3, writebacks
 	}

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// benchRunConfig is the BenchmarkCoreRun scale: one core, no warmup, a
+// measured phase long enough that steady-state scheduling dominates system
+// construction.
+func benchRunConfig(scheme Scheme) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Benchmark = "mcf"
+	cfg.CoresPerNode = 1
+	cfg.WarmupInstructions = 0
+	cfg.MeasureInstructions = 30_000
+	return cfg
+}
+
+// BenchmarkCoreRun measures one full core.Run — the unit of work the
+// experiment harness schedules hundreds of times per report. allocs/op and
+// ns/op here are the acceptance numbers for the allocation-free engine.
+func BenchmarkCoreRun(b *testing.B) {
+	for _, scheme := range []Scheme{IFAM, DeACTN} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchRunConfig(scheme)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

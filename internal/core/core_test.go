@@ -1,10 +1,33 @@
 package core
 
 import (
+	"reflect"
 	"testing"
 
 	"deact/internal/workload"
 )
+
+// TestRunDeterministicFixedSeed: two serial runs of an identical config
+// must produce bit-identical Results — the invariant every experiment
+// (and the parallel harness's dedup cache) rests on.
+func TestRunDeterministicFixedSeed(t *testing.T) {
+	for _, scheme := range []Scheme{IFAM, DeACTN} {
+		cfg := quickConfig(scheme, "canl")
+		cfg.WarmupInstructions = 5_000
+		cfg.MeasureInstructions = 5_000
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: fixed-seed runs diverged:\n%+v\n%+v", scheme, a, b)
+		}
+	}
+}
 
 // quickConfig returns a small, fast configuration for tests.
 func quickConfig(scheme Scheme, bench string) Config {

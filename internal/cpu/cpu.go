@@ -47,13 +47,68 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Core is one simulated core, driven as a state machine on the engine.
+// window tracks the completion times of in-flight independent references as
+// a sorted ring: the head is always the earliest completion, so the
+// full-window stall ("wait for the earliest slot") and the drain of
+// completed references are O(1) per reference, with no per-op allocation.
+// Insertion keeps the ring sorted with a bounded memmove (the window is at
+// most MaxOutstanding = 32 entries).
+type window struct {
+	buf  []sim.Time
+	head int
+	n    int
+}
+
+func newWindow(capacity int) window { return window{buf: make([]sim.Time, capacity)} }
+
+// min returns the earliest outstanding completion. The window must be
+// non-empty.
+func (w *window) min() sim.Time { return w.buf[w.head] }
+
+// insert adds a completion time, keeping the ring sorted.
+func (w *window) insert(t sim.Time) {
+	c := len(w.buf)
+	// Binary search for the first element > t among the n sorted entries.
+	lo, hi := 0, w.n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.buf[(w.head+mid)%c] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Shift entries lo..n-1 one slot toward the tail.
+	for i := w.n; i > lo; i-- {
+		w.buf[(w.head+i)%c] = w.buf[(w.head+i-1)%c]
+	}
+	w.buf[(w.head+lo)%c] = t
+	w.n++
+}
+
+// drain removes every completion at or before now.
+func (w *window) drain(now sim.Time) {
+	for w.n > 0 && w.buf[w.head] <= now {
+		w.head = (w.head + 1) % len(w.buf)
+		w.n--
+	}
+}
+
+// reset empties the window.
+func (w *window) reset() { w.head, w.n = 0, 0 }
+
+// Core is one simulated core, driven as a state machine on the engine. It
+// implements sim.Handler, so steady-state stepping schedules zero
+// allocations per instruction window.
 type Core struct {
 	cfg    Config
 	gen    *workload.Generator
 	access AccessFunc
+	engine *sim.Engine
 
-	outstanding []sim.Time // completion times of in-flight references
+	win    window   // in-flight independent references, sorted by completion
+	winMax sim.Time // latest completion ever inserted (drains are a sorted
+	// prefix, so when the window is non-empty this is its maximum)
 
 	instrs     uint64
 	memOps     uint64
@@ -71,14 +126,15 @@ func New(cfg Config, gen *workload.Generator, access AccessFunc) (*Core, error) 
 	if gen == nil || access == nil {
 		return nil, fmt.Errorf("cpu: generator and access function required")
 	}
-	return &Core{cfg: cfg, gen: gen, access: access}, nil
+	return &Core{cfg: cfg, gen: gen, access: access, win: newWindow(cfg.MaxOutstanding)}, nil
 }
 
 // Start schedules the core's next step on the engine. On a fresh core that
 // is time zero; after SetBudget extended a retired core, execution resumes
 // where it left off (the engine clamps past times to its own clock).
 func (c *Core) Start(e *sim.Engine) {
-	e.Schedule(c.finishedAt, func(now sim.Time) { c.step(e, now) })
+	c.engine = e
+	e.ScheduleHandler(c.finishedAt, c)
 }
 
 // SetBudget replaces the total instruction budget and clears the done flag
@@ -91,9 +147,12 @@ func (c *Core) SetBudget(total uint64) {
 	}
 }
 
+// Handle implements sim.Handler: one engine dispatch is one core step.
+func (c *Core) Handle(now sim.Time) { c.step(now) }
+
 // step executes one instruction window: the compute gap, then the memory
 // reference, then schedules the next step at the time the core can proceed.
-func (c *Core) step(e *sim.Engine, now sim.Time) {
+func (c *Core) step(now sim.Time) {
 	if c.done {
 		return
 	}
@@ -124,45 +183,30 @@ func (c *Core) step(e *sim.Engine, now sim.Time) {
 	} else {
 		// Independent reference: occupy an outstanding slot; stall only
 		// when the window is full.
-		c.drain(issueAt)
-		if len(c.outstanding) >= c.cfg.MaxOutstanding {
-			earliest := c.outstanding[0]
-			for _, t := range c.outstanding {
-				if t < earliest {
-					earliest = t
-				}
-			}
-			if earliest > next {
+		c.win.drain(issueAt)
+		if c.win.n == c.cfg.MaxOutstanding {
+			if earliest := c.win.min(); earliest > next {
 				next = earliest
 			}
-			c.drain(next)
+			c.win.drain(next)
 		}
-		c.outstanding = append(c.outstanding, done)
-	}
-	e.Schedule(next, func(at sim.Time) { c.step(e, at) })
-}
-
-// drain removes references that completed by now.
-func (c *Core) drain(now sim.Time) {
-	kept := c.outstanding[:0]
-	for _, t := range c.outstanding {
-		if t > now {
-			kept = append(kept, t)
+		if done > c.winMax {
+			c.winMax = done
 		}
+		c.win.insert(done)
 	}
-	c.outstanding = kept
+	c.engine.ScheduleHandler(next, c)
 }
 
 // retire finalizes the run at the time the last in-flight reference (or the
 // final step) completes.
 func (c *Core) retire(now sim.Time) {
 	end := now
-	for _, t := range c.outstanding {
-		if t > end {
-			end = t
-		}
+	if c.win.n > 0 && c.winMax > end {
+		end = c.winMax
 	}
-	c.outstanding = nil
+	c.win.reset()
+	c.winMax = 0
 	c.finishedAt = end
 	c.done = true
 }

@@ -172,6 +172,86 @@ func TestSetBudgetResumesAfterRetirement(t *testing.T) {
 	}
 }
 
+// TestWindowFillDrainRetireEdges drives the sorted outstanding ring through
+// its edge cases directly: fill to capacity, stall on the earliest slot,
+// drain completed prefixes, and retire at the latest in-flight completion.
+func TestWindowFillDrainRetireEdges(t *testing.T) {
+	w := newWindow(4)
+	// Out-of-order completions must come back min-first.
+	for _, v := range []sim.Time{40, 10, 30, 20} {
+		w.insert(v)
+	}
+	if w.n != 4 || w.min() != 10 {
+		t.Fatalf("after fill: n=%d min=%d, want 4/10", w.n, w.min())
+	}
+	// Drain removes exactly the completed prefix.
+	w.drain(20)
+	if w.n != 2 || w.min() != 30 {
+		t.Fatalf("after drain(20): n=%d min=%d, want 2/30", w.n, w.min())
+	}
+	// Refill past the wrap point of the ring.
+	w.insert(5) // lands below the current min: must become the new head
+	if w.min() != 5 {
+		t.Fatalf("min after low insert = %d, want 5", w.min())
+	}
+	w.insert(35)
+	if w.n != 4 {
+		t.Fatalf("n = %d, want 4 (full)", w.n)
+	}
+	// Duplicate timestamps drain together.
+	w.drain(35)
+	if w.n != 1 || w.min() != 40 {
+		t.Fatalf("after drain(35): n=%d min=%d, want 1/40", w.n, w.min())
+	}
+	w.reset()
+	if w.n != 0 {
+		t.Fatal("reset kept entries")
+	}
+}
+
+// TestRetireWaitsForOutstanding: a core must not report a finish time
+// earlier than its last in-flight independent reference.
+func TestRetireWaitsForOutstanding(t *testing.T) {
+	e := sim.NewEngine()
+	const lat = sim.Time(1_000_000) // 1µs per access, far beyond the step gaps
+	var lastDone sim.Time
+	acc := func(now sim.Time, id int, op workload.Op) (sim.Time, error) {
+		lastDone = now + lat
+		return lastDone, nil
+	}
+	c, _ := New(cfg(100), testGen(t, 0), acc)
+	c.Start(e)
+	e.Run(0)
+	if !c.Done() {
+		t.Fatal("core did not retire")
+	}
+	if c.FinishedAt() < lastDone {
+		t.Fatalf("FinishedAt %d before last outstanding completion %d", c.FinishedAt(), lastDone)
+	}
+}
+
+// TestCoreDeterministicAcrossRuns: two cores with identical config and seed
+// produce identical counters and finish times.
+func TestCoreDeterministicAcrossRuns(t *testing.T) {
+	run := func() *Core {
+		e := sim.NewEngine()
+		acc := func(now sim.Time, id int, op workload.Op) (sim.Time, error) {
+			return now + sim.Time(op.Addr%977), nil
+		}
+		c, _ := New(cfg(20000), testGen(t, 0.3), acc)
+		c.Start(e)
+		e.Run(0)
+		return c
+	}
+	a, b := run(), run()
+	if a.Instructions() != b.Instructions() || a.MemOps() != b.MemOps() ||
+		a.BlockedOps() != b.BlockedOps() || a.FinishedAt() != b.FinishedAt() {
+		t.Fatalf("divergent runs: %d/%d/%d/%d vs %d/%d/%d/%d",
+			a.Instructions(), a.MemOps(), a.BlockedOps(), a.FinishedAt(),
+			b.Instructions(), b.MemOps(), b.BlockedOps(), b.FinishedAt())
+	}
+}
+
 func TestSetBudgetKeepsAbortError(t *testing.T) {
 	e := sim.NewEngine()
 	acc := func(now sim.Time, id int, op workload.Op) (sim.Time, error) {

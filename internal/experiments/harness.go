@@ -112,6 +112,11 @@ func (h *Harness) baseConfig(scheme core.Scheme, bench string) core.Config {
 // by applying mutate to the base config. Concurrent callers of the same
 // (scheme, bench, key) share one simulation; distinct configurations run in
 // parallel up to the pool size.
+//
+// The worker slot is released and the entry's done channel closed via
+// defer: a panic anywhere in the mutate/simulate path (converted to an
+// error for this and every deduplicated waiter) can neither leak a pool
+// slot nor leave waiters blocked forever.
 func (h *Harness) run(scheme core.Scheme, bench string, key string, mutate func(*core.Config)) (core.Result, error) {
 	cacheKey := fmt.Sprintf("%v|%s|%s", scheme, bench, key)
 	h.mu.Lock()
@@ -125,18 +130,25 @@ func (h *Harness) run(scheme core.Scheme, bench string, key string, mutate func(
 	h.mu.Unlock()
 
 	h.sem <- struct{}{} // acquire a worker slot
-	cfg := h.baseConfig(scheme, bench)
-	if mutate != nil {
-		mutate(&cfg)
-	}
-	r, err := core.Run(cfg)
-	<-h.sem
-	if err != nil {
-		e.err = fmt.Errorf("experiments: %s under %v (%s): %w", bench, scheme, key, err)
-	} else {
-		e.res = r
-	}
-	close(e.done)
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				e.err = fmt.Errorf("experiments: %s under %v (%s): panic: %v", bench, scheme, key, p)
+			}
+			<-h.sem // release the worker slot
+			close(e.done)
+		}()
+		cfg := h.baseConfig(scheme, bench)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		r, err := core.Run(cfg)
+		if err != nil {
+			e.err = fmt.Errorf("experiments: %s under %v (%s): %w", bench, scheme, key, err)
+		} else {
+			e.res = r
+		}
+	}()
 	return e.res, e.err
 }
 
@@ -256,10 +268,11 @@ func (h *Harness) CachedRuns() int {
 	return n
 }
 
-// nsLabel formats a fabric latency for figure x-labels.
+// nsLabel formats a fabric latency for figure x-labels. Non-integer values
+// keep their fractional part (1500ns is "1.5us", not a truncated "1us").
 func nsLabel(t sim.Time) string {
 	if t >= sim.US(1) {
-		return fmt.Sprintf("%dus", uint64(t/sim.Microsecond))
+		return fmt.Sprintf("%gus", float64(t)/float64(sim.Microsecond))
 	}
-	return fmt.Sprintf("%dns", uint64(t/sim.Nanosecond))
+	return fmt.Sprintf("%gns", float64(t)/float64(sim.Nanosecond))
 }

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"deact/internal/core"
+	"deact/internal/sim"
+)
+
+// TestPanickingRunDoesNotWedgePool: a panic inside a run must be converted
+// to an error, release its worker-pool slot, and unblock every
+// deduplicated waiter — not leave them parked on e.done forever.
+func TestPanickingRunDoesNotWedgePool(t *testing.T) {
+	h := New(schedOptions(1)) // one slot: a leaked slot would wedge everything
+	boom := func(c *core.Config) { panic("mutate exploded") }
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := h.run(core.IFAM, "mcf", "boom", boom)
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("want panic error, got %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("panicking run wedged the pool (waiter blocked)")
+		}
+	}
+
+	// The slot must have been released: a healthy run still goes through.
+	if _, err := h.run(core.EFAM, "mcf", "after-panic", nil); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+}
+
+// TestNsLabelFractionalMicroseconds: non-integer microsecond latencies must
+// not truncate (the old %d cast rendered 1500ns as "1us").
+func TestNsLabelFractionalMicroseconds(t *testing.T) {
+	cases := []struct {
+		t    sim.Time
+		want string
+	}{
+		{sim.NS(500), "500ns"},
+		{sim.NS(999), "999ns"},
+		{sim.NS(1000), "1us"},
+		{sim.NS(1500), "1.5us"},
+		{sim.NS(2500), "2.5us"},
+		{sim.US(6), "6us"},
+		{sim.NS(1250), "1.25us"},
+		{2500, "2.5ns"}, // 2500ps
+	}
+	for _, c := range cases {
+		if got := nsLabel(c.t); got != c.want {
+			t.Errorf("nsLabel(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}

@@ -124,18 +124,27 @@ type Stats struct {
 
 // Node is one compute node.
 type Node struct {
-	cfg    Config
-	brk    *broker.Broker
-	fab    *fabric.Fabric
-	fam    *memdev.Device
-	dram   *memdev.Device
-	hier   *cache.Hierarchy
-	mmus   []*tlb.MMU
-	pt     *pagetable.Table
-	trans  *translator.Translator
-	stuU   *stu.STU
-	osa    *osAllocator
-	direct map[addr.NPPage]addr.FPage // OS/broker-known NP→FAM backing
+	cfg   Config
+	brk   *broker.Broker
+	fab   *fabric.Fabric
+	fam   *memdev.Device
+	dram  *memdev.Device
+	hier  *cache.Hierarchy
+	mmus  []*tlb.MMU
+	pt    *pagetable.Table
+	trans *translator.Translator
+	stuU  *stu.STU
+	osa   *osAllocator
+
+	// direct is the OS/broker-known NP→FAM backing, dense over the FAM
+	// zone (index: NP page − first FAM-zone page). It sits on E-FAM's
+	// per-miss path, where a map lookup per access is measurable.
+	direct    []addr.FPage
+	directSet []bool
+
+	// walkBuf is the scratch buffer for page-table walk steps; translate
+	// reuses it so TLB misses do not allocate.
+	walkBuf []pagetable.WalkStep
 
 	stats Stats
 }
@@ -149,12 +158,13 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 		return nil, fmt.Errorf("node: broker, fabric and FAM device required")
 	}
 	n := &Node{
-		cfg:    cfg,
-		brk:    brk,
-		fab:    fab,
-		fam:    fam,
-		dram:   memdev.New(cfg.DRAM),
-		direct: map[addr.NPPage]addr.FPage{},
+		cfg:       cfg,
+		brk:       brk,
+		fab:       fab,
+		fam:       fam,
+		dram:      memdev.New(cfg.DRAM),
+		direct:    make([]addr.FPage, cfg.Layout.FAMZonePages()),
+		directSet: make([]bool, cfg.Layout.FAMZonePages()),
 	}
 
 	var err error
@@ -219,18 +229,26 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 	return n, nil
 }
 
+// famZoneIndex converts a FAM-zone NP page to its dense direct[] index.
+// Callers guarantee p is in the FAM zone.
+func (n *Node) famZoneIndex(p addr.NPPage) uint64 {
+	return uint64(p) - uint64(n.cfg.Layout.FAMZoneBase().Page())
+}
+
 // backWithFAM gives an NP FAM-zone page a real FAM backing via the broker
 // and records it for the OS (E-FAM uses it directly; the other schemes use
 // the broker-installed FAM page table).
 func (n *Node) backWithFAM(p addr.NPPage) error {
-	if _, ok := n.direct[p]; ok {
+	i := n.famZoneIndex(p)
+	if n.directSet[i] {
 		return nil
 	}
 	fp, err := n.brk.MapForNode(n.cfg.ID, p)
 	if err != nil {
 		return err
 	}
-	n.direct[p] = fp
+	n.direct[i] = fp
+	n.directSet[i] = true
 	return nil
 }
 
@@ -273,7 +291,7 @@ func (n *Node) translate(now sim.Time, coreID int, vp addr.VPage) (addr.NPPage, 
 
 	n.stats.NodePTWalks++
 	start := m.PTW.BestStartLevel(uint64(vp))
-	steps, val, ok := n.pt.Walk(uint64(vp), start)
+	steps, val, ok := n.pt.WalkAppend(uint64(vp), start, n.walkBuf[:0])
 	t := now
 	var err error
 	for _, s := range steps {
@@ -281,35 +299,44 @@ func (n *Node) translate(now sim.Time, coreID int, vp addr.VPage) (addr.NPPage, 
 		// through the data caches as on real hardware).
 		t, err = n.memAccess(t, coreID, addr.NPAddr(s.EntryAddr), false, true)
 		if err != nil {
+			n.walkBuf = steps[:0]
 			return 0, t, err
 		}
 	}
 	if !ok {
 		// OS first touch: allocate an NP page (20/80 policy), back it with
-		// FAM if needed, install the PTE, then finish the walk.
+		// FAM if needed, install the PTE, then finish the walk. The retried
+		// walk appends in place of the faulting step, reusing the buffer.
 		npp, ferr := n.osFault(vp)
 		if ferr != nil {
+			n.walkBuf = steps[:0]
 			return 0, t, ferr
 		}
 		retryFrom := steps[len(steps)-1].Level
-		steps2, val2, ok2 := n.pt.Walk(uint64(vp), retryFrom)
+		head := len(steps) - 1
+		var val2 uint64
+		var ok2 bool
+		steps, val2, ok2 = n.pt.WalkAppend(uint64(vp), retryFrom, steps[:head])
 		if !ok2 {
+			n.walkBuf = steps[:0]
 			return 0, t, fmt.Errorf("node %d: PTE missing after OS fault for vpage %#x", n.cfg.ID, vp)
 		}
-		for _, s := range steps2 {
+		for _, s := range steps[head:] {
 			t, err = n.memAccess(t, coreID, addr.NPAddr(s.EntryAddr), false, true)
 			if err != nil {
+				n.walkBuf = steps[:0]
 				return 0, t, err
 			}
 		}
 		if addr.NPPage(val2) != npp {
+			n.walkBuf = steps[:0]
 			return 0, t, fmt.Errorf("node %d: OS fault installed inconsistent mapping", n.cfg.ID)
 		}
 		val = val2
-		steps = append(steps[:len(steps)-1], steps2...)
 	}
 	m.PTW.FillFromWalk(uint64(vp), steps)
 	m.Insert(uint64(vp), val)
+	n.walkBuf = steps[:0]
 	return addr.NPPage(val), t, nil
 }
 
@@ -382,10 +409,11 @@ func (n *Node) memoryPath(now sim.Time, npa addr.NPAddr, write bool, isAT bool) 
 
 	switch n.cfg.Scheme {
 	case EFAM:
-		fp, ok := n.direct[np]
-		if !ok {
+		i := n.famZoneIndex(np)
+		if !n.directSet[i] {
 			return now, fmt.Errorf("node %d: E-FAM access to unbacked page %#x", n.cfg.ID, np)
 		}
+		fp := n.direct[i]
 		countData()
 		return n.famRT(now, addr.FFromNP(fp, npa.Offset()), write), nil
 

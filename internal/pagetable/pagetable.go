@@ -7,7 +7,8 @@
 //   - the per-node FAM page table, walked by the STU on system-translation
 //     misses (node-physical page → FAM page).
 //
-// The table is functional (a radix tree of Go maps) but *placed*: every
+// The table is functional (a radix tree backed by dense 512-entry arrays,
+// exactly the shape of the hardware tables it models) but *placed*: every
 // table node occupies a physical page obtained from an allocator, and Walk
 // reports the physical address of each 8-byte entry it touches. That is the
 // property the whole evaluation hinges on — in I-FAM each node page-table
@@ -23,11 +24,14 @@ const Levels = 4
 // bitsPerLevel is the radix width of each level (512 entries × 8B = 4KB).
 const bitsPerLevel = 9
 
+// entriesPerNode is the fan-out of one table node.
+const entriesPerNode = 1 << bitsPerLevel
+
 // EntrySize is the size of one page-table entry in bytes.
 const EntrySize = 8
 
 // levelMask extracts one level's index.
-const levelMask = (1 << bitsPerLevel) - 1
+const levelMask = entriesPerNode - 1
 
 // PageAllocator provides physical pages for table nodes. The node page
 // table allocates from node-physical space (so kernel tables follow the
@@ -35,10 +39,15 @@ const levelMask = (1 << bitsPerLevel) - 1
 // broker's FAM pool.
 type PageAllocator func() (pageNumber uint64, err error)
 
+// tnode is one 512-entry table page. Interior nodes use children; leaf
+// (PTE-level) nodes use leaves/present. Dense arrays keep the per-walk
+// descent to two dependent loads per level with no hashing and no
+// allocation.
 type tnode struct {
 	phys     uint64 // physical page number holding this 512-entry table
-	children map[uint16]*tnode
-	leaves   map[uint16]uint64
+	children []*tnode
+	leaves   []uint64
+	present  []bool
 }
 
 // Table is a 4-level radix page table mapping uint64 page numbers to uint64
@@ -58,7 +67,7 @@ func New(name string, alloc PageAllocator) (*Table, error) {
 		return nil, fmt.Errorf("pagetable %s: nil allocator", name)
 	}
 	t := &Table{name: name, alloc: alloc}
-	root, err := t.newNode()
+	root, err := t.newNode(false)
 	if err != nil {
 		return nil, err
 	}
@@ -66,13 +75,20 @@ func New(name string, alloc PageAllocator) (*Table, error) {
 	return t, nil
 }
 
-func (t *Table) newNode() (*tnode, error) {
+func (t *Table) newNode(leaf bool) (*tnode, error) {
 	p, err := t.alloc()
 	if err != nil {
 		return nil, fmt.Errorf("pagetable %s: allocating table node: %w", t.name, err)
 	}
 	t.tableNodes++
-	return &tnode{phys: p, children: map[uint16]*tnode{}, leaves: map[uint16]uint64{}}, nil
+	n := &tnode{phys: p}
+	if leaf {
+		n.leaves = make([]uint64, entriesPerNode)
+		n.present = make([]bool, entriesPerNode)
+	} else {
+		n.children = make([]*tnode, entriesPerNode)
+	}
+	return n, nil
 }
 
 // index returns the radix index of key at the given level (0 = root).
@@ -92,10 +108,10 @@ func (t *Table) Map(key, value uint64) error {
 	n := t.root
 	for lvl := 0; lvl < Levels-1; lvl++ {
 		idx := index(key, lvl)
-		child, ok := n.children[idx]
-		if !ok {
+		child := n.children[idx]
+		if child == nil {
 			var err error
-			child, err = t.newNode()
+			child, err = t.newNode(lvl == Levels-2)
 			if err != nil {
 				return err
 			}
@@ -104,8 +120,9 @@ func (t *Table) Map(key, value uint64) error {
 		n = child
 	}
 	idx := index(key, Levels-1)
-	if _, existed := n.leaves[idx]; !existed {
+	if !n.present[idx] {
 		t.mapped++
+		n.present[idx] = true
 	}
 	n.leaves[idx] = value
 	return nil
@@ -116,17 +133,17 @@ func (t *Table) Map(key, value uint64) error {
 func (t *Table) Unmap(key uint64) bool {
 	n := t.root
 	for lvl := 0; lvl < Levels-1; lvl++ {
-		child, ok := n.children[index(key, lvl)]
-		if !ok {
+		n = n.children[index(key, lvl)]
+		if n == nil {
 			return false
 		}
-		n = child
 	}
 	idx := index(key, Levels-1)
-	if _, ok := n.leaves[idx]; !ok {
+	if !n.present[idx] {
 		return false
 	}
-	delete(n.leaves, idx)
+	n.present[idx] = false
+	n.leaves[idx] = 0
 	t.mapped--
 	return true
 }
@@ -135,14 +152,13 @@ func (t *Table) Unmap(key uint64) bool {
 func (t *Table) Lookup(key uint64) (uint64, bool) {
 	n := t.root
 	for lvl := 0; lvl < Levels-1; lvl++ {
-		child, ok := n.children[index(key, lvl)]
-		if !ok {
+		n = n.children[index(key, lvl)]
+		if n == nil {
 			return 0, false
 		}
-		n = child
 	}
-	v, ok := n.leaves[index(key, Levels-1)]
-	return v, ok
+	idx := index(key, Levels-1)
+	return n.leaves[idx], n.present[idx]
 }
 
 // WalkStep records one page-table memory reference.
@@ -161,14 +177,20 @@ type WalkStep struct {
 // An unmapped key still incurs the references down to the level where the
 // walk faulted.
 func (t *Table) Walk(key uint64, startLevel int) (steps []WalkStep, value uint64, ok bool) {
+	return t.WalkAppend(key, startLevel, nil)
+}
+
+// WalkAppend is Walk appending into buf, so a caller on the per-miss hot
+// path can reuse one scratch buffer across walks instead of allocating.
+func (t *Table) WalkAppend(key uint64, startLevel int, buf []WalkStep) (steps []WalkStep, value uint64, ok bool) {
 	if startLevel < 0 {
 		startLevel = 0
 	}
 	n := t.root
 	// Descend silently to startLevel: those entries came from a PTW cache.
 	for lvl := 0; lvl < startLevel && lvl < Levels-1; lvl++ {
-		child, present := n.children[index(key, lvl)]
-		if !present {
+		child := n.children[index(key, lvl)]
+		if child == nil {
 			// The PTW cache claimed coverage the table no longer has; fall
 			// back to walking from here.
 			startLevel = lvl
@@ -176,18 +198,17 @@ func (t *Table) Walk(key uint64, startLevel int) (steps []WalkStep, value uint64
 		}
 		n = child
 	}
+	steps = buf
 	for lvl := startLevel; lvl < Levels; lvl++ {
 		idx := index(key, lvl)
 		steps = append(steps, WalkStep{Level: lvl, EntryAddr: entryAddr(n.phys, idx), NodePhys: n.phys})
 		if lvl == Levels-1 {
-			v, present := n.leaves[idx]
-			return steps, v, present
+			return steps, n.leaves[idx], n.present[idx]
 		}
-		child, present := n.children[idx]
-		if !present {
+		n = n.children[idx]
+		if n == nil {
 			return steps, 0, false
 		}
-		n = child
 	}
 	return steps, 0, false
 }
@@ -198,11 +219,10 @@ func (t *Table) Walk(key uint64, startLevel int) (steps []WalkStep, value uint64
 func (t *Table) NodePhysAt(key uint64, level int) (uint64, bool) {
 	n := t.root
 	for lvl := 0; lvl < level; lvl++ {
-		child, present := n.children[index(key, lvl)]
-		if !present {
+		n = n.children[index(key, lvl)]
+		if n == nil {
 			return 0, false
 		}
-		n = child
 	}
 	return n.phys, true
 }

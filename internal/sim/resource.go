@@ -1,5 +1,7 @@
 package sim
 
+import "sort"
+
 // Resource models a serially occupied hardware resource (a DRAM bank, a
 // fabric link direction, an STU port). A request occupies the resource for
 // its service time; overlapping requests queue.
@@ -12,8 +14,14 @@ package sim
 // requester would queue behind the *last* of those reservations even
 // though the link is idle in between — which silently serializes the whole
 // machine.
+//
+// The calendar is kept sorted, non-overlapping and maximally merged at all
+// times, so Acquire only needs a binary search for the arrival position, a
+// short forward walk to the first fitting gap, and an O(1) merge with the
+// (at most two) adjacent intervals — the common tail-append case touches
+// nothing else.
 type Resource struct {
-	intervals []interval // sorted by start, non-overlapping
+	intervals []interval // sorted by start, non-overlapping, adjacency-merged
 	busy      Time
 	uses      uint64
 }
@@ -37,10 +45,26 @@ func (r *Resource) Acquire(now, service Time) (start, done Time) {
 		return now, now
 	}
 	start = now
-	insertAt := len(r.intervals)
-	for i, iv := range r.intervals {
+	n := len(r.intervals)
+
+	// Fast path: arrival at or after the last booking — append or extend.
+	if n == 0 || start >= r.intervals[n-1].end {
+		done = start + service
+		if n > 0 && r.intervals[n-1].end == start {
+			r.intervals[n-1].end = done
+		} else {
+			r.intervals = append(r.intervals, interval{start: start, end: done})
+		}
+		r.cap()
+		return start, done
+	}
+
+	// Intervals ending at or before the arrival can neither delay the
+	// request nor host it; binary-search past them.
+	i := sort.Search(n, func(j int) bool { return r.intervals[j].end > start })
+	for ; i < n; i++ {
+		iv := r.intervals[i]
 		if start+service <= iv.start {
-			insertAt = i
 			break
 		}
 		if iv.end > start {
@@ -48,28 +72,34 @@ func (r *Resource) Acquire(now, service Time) (start, done Time) {
 		}
 	}
 	done = start + service
-	r.intervals = append(r.intervals, interval{})
-	copy(r.intervals[insertAt+1:], r.intervals[insertAt:])
-	r.intervals[insertAt] = interval{start: start, end: done}
-	r.coalesce()
+
+	// Insert [start, done) before index i, fusing with the neighbours when
+	// exactly adjacent (the calendar is already merged, so overlap is
+	// impossible: start ≥ intervals[i-1].end and done ≤ intervals[i].start).
+	prevTouch := i > 0 && r.intervals[i-1].end == start
+	nextTouch := i < n && r.intervals[i].start == done
+	switch {
+	case prevTouch && nextTouch:
+		r.intervals[i-1].end = r.intervals[i].end
+		r.intervals = append(r.intervals[:i], r.intervals[i+1:]...)
+	case prevTouch:
+		r.intervals[i-1].end = done
+	case nextTouch:
+		r.intervals[i].start = start
+	default:
+		r.intervals = append(r.intervals, interval{})
+		copy(r.intervals[i+1:], r.intervals[i:])
+		r.intervals[i] = interval{start: start, end: done}
+	}
+	r.cap()
 	return start, done
 }
 
-// coalesce merges adjacent/overlapping intervals and bounds the calendar.
-func (r *Resource) coalesce() {
-	out := r.intervals[:0]
-	for _, iv := range r.intervals {
-		if n := len(out); n > 0 && iv.start <= out[n-1].end {
-			if iv.end > out[n-1].end {
-				out[n-1].end = iv.end
-			}
-			continue
-		}
-		out = append(out, iv)
-	}
-	r.intervals = out
+// cap bounds the calendar: when it overflows, the oldest half is fused into
+// one opaque blob (its gaps are no longer bookable, which only
+// over-serializes the distant past and keeps Acquire O(small)).
+func (r *Resource) cap() {
 	if len(r.intervals) > maxIntervals {
-		// Fuse the oldest half into one opaque blob.
 		half := len(r.intervals) / 2
 		r.intervals[half-1] = interval{start: r.intervals[0].start, end: r.intervals[half-1].end}
 		r.intervals = append(r.intervals[:0], r.intervals[half-1:]...)

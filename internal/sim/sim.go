@@ -4,11 +4,17 @@
 // shared engine; ties are broken by insertion order so that runs are fully
 // reproducible.
 //
+// The event queue is a value-based indexed d-ary heap: events are stored
+// inline (no per-event heap allocation), and the steady-state scheduling
+// path allocates nothing once the queue has reached its high-water mark.
+// Components with a per-event hot path should implement Handler and use
+// ScheduleHandler/AfterHandler, which is closure-free; Schedule/After accept
+// plain funcs for convenience (the closure, if any, is the caller's only
+// allocation).
+//
 // All simulated time is expressed in picoseconds (type Time). At the 2GHz
 // core clock used throughout the paper one cycle is 500ps.
 package sim
-
-import "container/heap"
 
 // Time is a simulated timestamp in picoseconds.
 type Time uint64
@@ -27,31 +33,39 @@ func NS(n uint64) Time { return Time(n) * Nanosecond }
 // US converts a microsecond count to a Time.
 func US(n uint64) Time { return Time(n) * Microsecond }
 
-// Event is a scheduled callback.
+// Handler is a scheduled callback. Self-rescheduling components (a CPU core
+// stepping through its instruction stream, a refresh engine) implement it
+// once and pass themselves to ScheduleHandler, so steady-state simulation
+// allocates zero events per dispatch.
+type Handler interface {
+	Handle(now Time)
+}
+
+// handlerFunc adapts a plain func to Handler. Func values are
+// pointer-shaped, so the interface conversion itself does not allocate.
+type handlerFunc func(now Time)
+
+func (f handlerFunc) Handle(now Time) { f(now) }
+
+// event is one scheduled callback, stored by value in the heap.
 type event struct {
 	at  Time
 	seq uint64
-	fn  func(now Time)
+	h   Handler
 }
 
-type eventQueue []*event
+// degree is the heap arity. A 4-ary heap trades slightly more sift-down
+// comparisons for half the tree depth and much better cache behaviour than
+// a binary heap on the wide, shallow queues this simulator produces.
+const degree = 4
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// before orders events by (timestamp, insertion sequence): the FIFO
+// tie-break that makes runs reproducible.
+func (a event) before(b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Engine is a deterministic discrete-event scheduler.
@@ -60,16 +74,14 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now    Time
 	seq    uint64
-	queue  eventQueue
+	queue  []event // d-ary min-heap ordered by (at, seq)
 	fired  uint64
 	halted bool
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -78,20 +90,91 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have been dispatched so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Schedule enqueues fn to run at absolute time at. Scheduling in the past
-// (at < Now) clamps to Now; this keeps component code simple when latencies
-// round to zero.
-func (e *Engine) Schedule(at Time, fn func(now Time)) {
+// ScheduleHandler enqueues h to run at absolute time at. Scheduling in the
+// past (at < Now) clamps to Now; this keeps component code simple when
+// latencies round to zero. This is the allocation-free scheduling path.
+func (e *Engine) ScheduleHandler(at Time, h Handler) {
 	if at < e.now {
 		at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.queue = append(e.queue, event{at: at, seq: e.seq, h: h})
+	e.siftUp(len(e.queue) - 1)
+}
+
+// AfterHandler enqueues h to run delay picoseconds from now.
+func (e *Engine) AfterHandler(delay Time, h Handler) {
+	e.ScheduleHandler(e.now+delay, h)
+}
+
+// Schedule enqueues fn to run at absolute time at, clamping past times to
+// Now like ScheduleHandler.
+func (e *Engine) Schedule(at Time, fn func(now Time)) {
+	e.ScheduleHandler(at, handlerFunc(fn))
 }
 
 // After enqueues fn to run delay picoseconds from now.
 func (e *Engine) After(delay Time, fn func(now Time)) {
 	e.Schedule(e.now+delay, fn)
+}
+
+// siftUp restores the heap property from leaf i toward the root.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	ev := q[i]
+	for i > 0 {
+		parent := (i - 1) / degree
+		if !ev.before(q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		i = parent
+	}
+	q[i] = ev
+}
+
+// siftDown restores the heap property from the root toward the leaves.
+func (e *Engine) siftDown() {
+	q := e.queue
+	n := len(q)
+	ev := q[0]
+	i := 0
+	for {
+		first := i*degree + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + degree
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q[c].before(q[best]) {
+				best = c
+			}
+		}
+		if !q[best].before(ev) {
+			break
+		}
+		q[i] = q[best]
+		i = best
+	}
+	q[i] = ev
+}
+
+// pop removes and returns the earliest event. The queue must be non-empty.
+func (e *Engine) pop() event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release the Handler reference
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown()
+	}
+	return top
 }
 
 // Halt stops Run before the next event is dispatched. It is typically called
@@ -101,17 +184,22 @@ func (e *Engine) Halt() { e.halted = true }
 // Run dispatches events in timestamp order until the queue drains, Halt is
 // called, or the optional horizon (non-zero) is reached. It returns the
 // final simulated time.
+//
+// An event beyond the horizon stays in the queue (the head is peeked, not
+// popped), so a subsequent Run with a larger horizon dispatches it.
 func (e *Engine) Run(horizon Time) Time {
 	e.halted = false
 	for len(e.queue) > 0 && !e.halted {
-		ev := heap.Pop(&e.queue).(*event)
-		if horizon != 0 && ev.at > horizon {
-			e.now = horizon
+		if horizon != 0 && e.queue[0].at > horizon {
+			if horizon > e.now {
+				e.now = horizon
+			}
 			return e.now
 		}
+		ev := e.pop()
 		e.now = ev.at
 		e.fired++
-		ev.fn(e.now)
+		ev.h.Handle(e.now)
 	}
 	return e.now
 }

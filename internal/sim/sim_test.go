@@ -94,6 +94,54 @@ func TestEngineHorizon(t *testing.T) {
 	}
 }
 
+// TestEngineHorizonKeepsFutureEvent is the regression test for the horizon
+// event-loss bug: the first event past the horizon used to be popped and
+// silently discarded, so re-running with a larger horizon never fired it.
+func TestEngineHorizonKeepsFutureEvent(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{100, 200, 300} {
+		at := at
+		e.Schedule(at, func(now Time) { fired = append(fired, now) })
+	}
+	if final := e.Run(150); final != 150 {
+		t.Fatalf("first run ended at %d, want 150", final)
+	}
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("first run fired %v, want [100]", fired)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending after horizon = %d, want 2 (event at 200 must survive)", e.Pending())
+	}
+	if final := e.Run(250); final != 250 {
+		t.Fatalf("second run ended at %d, want 250", final)
+	}
+	if len(fired) != 2 || fired[1] != 200 {
+		t.Fatalf("extended horizon fired %v, want [100 200]", fired)
+	}
+	if final := e.Run(0); final != 300 {
+		t.Fatalf("unbounded run ended at %d, want 300", final)
+	}
+	if len(fired) != 3 || fired[2] != 300 {
+		t.Fatalf("final run fired %v, want all three events", fired)
+	}
+}
+
+// TestEngineHorizonDoesNotRewindClock: a horizon earlier than the current
+// clock must not move time backwards.
+func TestEngineHorizonDoesNotRewindClock(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1000, func(Time) {})
+	e.Schedule(2000, func(Time) {})
+	e.Run(1500)
+	if e.Now() != 1500 {
+		t.Fatalf("now = %d, want 1500", e.Now())
+	}
+	if final := e.Run(100); final != 1500 {
+		t.Fatalf("smaller horizon rewound the clock to %d", final)
+	}
+}
+
 func TestEngineNestedScheduling(t *testing.T) {
 	e := NewEngine()
 	depth := 0
@@ -111,6 +159,118 @@ func TestEngineNestedScheduling(t *testing.T) {
 	}
 	if e.Now() != 99 {
 		t.Fatalf("final time = %d, want 99", e.Now())
+	}
+}
+
+// recorder is a Handler that logs its id into a shared slice.
+type recorder struct {
+	id  int
+	out *[]int
+}
+
+func (r *recorder) Handle(Time) { *r.out = append(*r.out, r.id) }
+
+// TestEngineSameTimestampFIFOMixedAPIs: events at one timestamp fire in
+// scheduling order regardless of which API (closure or handler) enqueued
+// them.
+func TestEngineSameTimestampFIFOMixedAPIs(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 20; i++ {
+		i := i
+		if i%2 == 0 {
+			e.ScheduleHandler(42, &recorder{id: i, out: &got})
+		} else {
+			e.Schedule(42, func(Time) { got = append(got, i) })
+		}
+	}
+	e.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO tie-break violated at %d: %v", i, got)
+		}
+	}
+}
+
+// halter halts the engine on its nth dispatch.
+type halter struct {
+	e     *Engine
+	count int
+	at    int
+	fired *int
+}
+
+func (h *halter) Handle(Time) {
+	h.count++
+	*h.fired++
+	if h.count == h.at {
+		h.e.Halt()
+	}
+}
+
+// TestEngineHaltMidDispatchAndResume: Halt from inside a handler stops the
+// loop before the next dispatch, keeps the rest of the queue intact, and a
+// fresh Run resumes exactly where it stopped.
+func TestEngineHaltMidDispatchAndResume(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	h := &halter{e: e, at: 3, fired: &fired}
+	for i := 0; i < 10; i++ {
+		e.ScheduleHandler(Time(i*10), h)
+	}
+	e.Run(0)
+	if fired != 3 {
+		t.Fatalf("halt ignored: %d events fired", fired)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+	if e.Now() != 20 {
+		t.Fatalf("halted at %d, want 20", e.Now())
+	}
+	// Run again: the halted flag must reset and the queue drain.
+	e.Run(0)
+	if fired != 10 || e.Pending() != 0 {
+		t.Fatalf("resume incomplete: fired=%d pending=%d", fired, e.Pending())
+	}
+}
+
+// TestEngineScheduleHandlerClampsPast mirrors the closure-path clamp test
+// for the handler path.
+func TestEngineScheduleHandlerClampsPast(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Schedule(1000, func(Time) {
+		e.ScheduleHandler(5, handlerFunc(func(now Time) { at = now }))
+	})
+	e.Run(0)
+	if at != 1000 {
+		t.Fatalf("past handler fired at %d, want clamp to 1000", at)
+	}
+}
+
+// TestEngineManyEventsOrdered shuffles a large schedule through the d-ary
+// heap and checks global dispatch order (timestamp, then insertion seq).
+func TestEngineManyEventsOrdered(t *testing.T) {
+	e := NewEngine()
+	const n = 5000
+	var got []Time
+	// A deterministic scatter of timestamps with plenty of collisions.
+	for i := 0; i < n; i++ {
+		at := Time((i * 7919) % 257)
+		e.Schedule(at, func(now Time) { got = append(got, now) })
+	}
+	e.Run(0)
+	if len(got) != n {
+		t.Fatalf("fired %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d: %d after %d", i, got[i], got[i-1])
+		}
+	}
+	if e.Fired() != n {
+		t.Fatalf("Fired() = %d, want %d", e.Fired(), n)
 	}
 }
 

@@ -156,6 +156,8 @@ type STU struct {
 	ncache *assoc[acm.Entry] // OrgDeACTN: key = FAM page (44-bit tag modeled exactly)
 	ptw    *tlb.PTWCache
 
+	walkBuf []pagetable.WalkStep // scratch reused across FAM-table walks
+
 	stats Stats
 }
 
@@ -287,7 +289,8 @@ func (s *STU) VerifyMapped(now sim.Time, fp addr.FPage, want acm.Perm) (sim.Time
 func (s *STU) walk(now sim.Time, npPage addr.NPPage) (sim.Time, addr.FPage, error) {
 	s.stats.Walks++
 	start := s.ptw.BestStartLevel(uint64(npPage))
-	steps, val, ok := s.table.Walk(uint64(npPage), start)
+	steps, val, ok := s.table.WalkAppend(uint64(npPage), start, s.walkBuf[:0])
+	defer func() { s.walkBuf = steps[:0] }()
 	t := now
 	for _, st := range steps {
 		t = s.famRead(t, addr.FAddr(st.EntryAddr), false)
@@ -303,13 +306,17 @@ func (s *STU) walk(now sim.Time, npPage addr.NPPage) (sim.Time, addr.FPage, erro
 		}
 		s.stats.BrokerFaults++
 		// Retry the walk from the level that faulted; the broker has now
-		// installed the missing subtree.
+		// installed the missing subtree. The retried steps append in place
+		// of the faulting step, reusing the scratch buffer.
 		retryFrom := steps[len(steps)-1].Level
-		steps2, val2, ok2 := s.table.Walk(uint64(npPage), retryFrom)
+		head := len(steps) - 1
+		var val2 uint64
+		var ok2 bool
+		steps, val2, ok2 = s.table.WalkAppend(uint64(npPage), retryFrom, steps[:head])
 		if !ok2 {
 			return t, 0, fmt.Errorf("stu(node %d): broker did not install mapping for %#x", s.nodeID, npPage)
 		}
-		for _, st2 := range steps2 {
+		for _, st2 := range steps[head:] {
 			t = s.famRead(t, addr.FAddr(st2.EntryAddr), false)
 			s.stats.PTWSteps++
 		}
@@ -317,7 +324,6 @@ func (s *STU) walk(now sim.Time, npPage addr.NPPage) (sim.Time, addr.FPage, erro
 			return t, 0, fmt.Errorf("stu(node %d): broker mapping mismatch for %#x", s.nodeID, npPage)
 		}
 		val = val2
-		steps = append(steps[:len(steps)-1], steps2...)
 	}
 	s.ptw.FillFromWalk(uint64(npPage), steps)
 	return t, addr.FPage(val), nil

@@ -74,7 +74,7 @@ type Translator struct {
 	rng  *rand.Rand
 
 	sets  uint64
-	lines [][]entry
+	lines []entry // flat [sets × EntriesPerLine], one backing allocation
 
 	slots   []sim.Time // completion time of the request occupying each slot
 	slotIdx int
@@ -96,13 +96,15 @@ func New(cfg Config, dram *memdev.Device, seed int64) (*Translator, error) {
 		dram:  dram,
 		rng:   rand.New(rand.NewSource(seed)),
 		sets:  sets,
-		lines: make([][]entry, sets),
+		lines: make([]entry, sets*EntriesPerLine),
 		slots: make([]sim.Time, cfg.Outstanding),
 	}
-	for i := range t.lines {
-		t.lines[i] = make([]entry, EntriesPerLine)
-	}
 	return t, nil
+}
+
+// line returns the 4-entry cache line of a set.
+func (t *Translator) line(set uint64) []entry {
+	return t.lines[set*EntriesPerLine : (set+1)*EntriesPerLine]
 }
 
 // setFor returns the set index for a node page (modulus placement, §III-C).
@@ -121,7 +123,7 @@ func (t *Translator) Lookup(now sim.Time, np addr.NPPage) (done sim.Time, fp add
 	done = t.dram.Access(now, t.lineAddr(set), false)
 	t.stats.DRAMReads++
 	done += t.cfg.TagMatchTime
-	for _, e := range t.lines[set] {
+	for _, e := range t.line(set) {
 		if e.valid && e.np == np {
 			t.stats.Hits++
 			return done, e.fp, true
@@ -139,7 +141,7 @@ func (t *Translator) Update(now sim.Time, np addr.NPPage, fp addr.FPage) (done s
 	set := t.setFor(np)
 	done = t.dram.Access(now, t.lineAddr(set), false)
 	t.stats.DRAMReads++
-	line := t.lines[set]
+	line := t.line(set)
 	slot := -1
 	for i, e := range line {
 		if e.valid && e.np == np {
@@ -179,10 +181,10 @@ func (t *Translator) ReserveSlot(now sim.Time, completion func(start sim.Time) s
 // Invalidate drops np's cached translation if present (single-page
 // system-level shootdown).
 func (t *Translator) Invalidate(np addr.NPPage) bool {
-	set := t.setFor(np)
-	for i, e := range t.lines[set] {
+	line := t.line(t.setFor(np))
+	for i, e := range line {
 		if e.valid && e.np == np {
-			t.lines[set][i].valid = false
+			line[i].valid = false
 			t.stats.Invalidates++
 			return true
 		}
@@ -195,11 +197,12 @@ func (t *Translator) Invalidate(np addr.NPPage) bool {
 // number of lines that held valid entries, which the caller converts to
 // DRAM write traffic.
 func (t *Translator) InvalidateAll() (dirtyLines uint64) {
-	for si := range t.lines {
+	for set := uint64(0); set < t.sets; set++ {
+		line := t.line(set)
 		touched := false
-		for i := range t.lines[si] {
-			if t.lines[si][i].valid {
-				t.lines[si][i].valid = false
+		for i := range line {
+			if line[i].valid {
+				line[i].valid = false
 				touched = true
 			}
 		}
@@ -216,14 +219,14 @@ func (t *Translator) InvalidateAll() (dirtyLines uint64) {
 // threat model says the node (and thus this cache) is untrusted, and the
 // STU must catch whatever comes out of it.
 func (t *Translator) Corrupt(np addr.NPPage, fp addr.FPage) {
-	set := t.setFor(np)
-	for i, e := range t.lines[set] {
+	line := t.line(t.setFor(np))
+	for i, e := range line {
 		if e.valid && e.np == np {
-			t.lines[set][i].fp = fp
+			line[i].fp = fp
 			return
 		}
 	}
-	t.lines[set][t.rng.Intn(EntriesPerLine)] = entry{np: np, fp: fp, valid: true}
+	line[t.rng.Intn(EntriesPerLine)] = entry{np: np, fp: fp, valid: true}
 }
 
 // Stats returns a copy of the counters.

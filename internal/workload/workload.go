@@ -103,12 +103,22 @@ func (p Profile) Validate() error {
 // vbase is the virtual base address of every generated working set.
 const vbase addr.VAddr = 0x10_0000_0000
 
+// blocksPerPage is the number of 64B blocks in a 4KB page.
+const blocksPerPage = addr.PageSize / addr.BlockSize
+
 // Generator produces the reference stream for one core.
 type Generator struct {
 	p      Profile
 	rng    *rand.Rand
 	cursor uint64 // sequential scan position in blocks
 	ops    uint64
+
+	// Derived counts, precomputed so Next stays off the division/multiply
+	// path: the working set and hot region in 64B blocks, and the mean
+	// compute gap.
+	fpBlocks  uint64
+	hotBlocks uint64
+	meanGap   int
 }
 
 // NewGenerator builds a deterministic generator for profile p. Each core
@@ -120,39 +130,58 @@ func NewGenerator(p Profile, seed int64) (*Generator, error) {
 	if p.StrideBlocks <= 0 {
 		p.StrideBlocks = 1
 	}
-	return &Generator{p: p, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Generator{
+		p:         p,
+		rng:       rand.New(rand.NewSource(seed)),
+		fpBlocks:  p.FootprintPages * blocksPerPage,
+		hotBlocks: p.HotPages * blocksPerPage,
+		meanGap:   1000/p.MemPer1000 - 1,
+	}, nil
 }
 
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.p }
 
-// footprintBlocks is the working set in 64B blocks.
-func (g *Generator) footprintBlocks() uint64 {
-	return g.p.FootprintPages * (addr.PageSize / addr.BlockSize)
+// uint64n returns a uniform value in [0, n) without modulo bias. Powers of
+// two take one masked draw; other bounds reject the (at most n-1 values
+// of the) biased tail, so the expected cost is still one draw.
+func (g *Generator) uint64n(n uint64) uint64 {
+	if n&(n-1) == 0 {
+		return g.rng.Uint64() & (n - 1)
+	}
+	limit := ^uint64(0) - ^uint64(0)%n // largest multiple of n ≤ 2^64
+	for {
+		if v := g.rng.Uint64(); v < limit {
+			return v % n
+		}
+	}
 }
 
 // skewedBlock picks a page under the profile's popularity skew, then a
-// uniform block inside it.
+// uniform block inside it. Each component costs exactly one RNG draw on
+// the page (plus one on the block): the skewed path consumes a Float64,
+// the uniform path an unbiased bounded Uint64.
 func (g *Generator) skewedBlock() uint64 {
-	page := g.rng.Uint64() % g.p.FootprintPages
+	var page uint64
 	if g.p.SkewExp > 1 {
 		u := g.rng.Float64()
 		page = uint64(float64(g.p.FootprintPages) * math.Pow(u, g.p.SkewExp))
 		if page >= g.p.FootprintPages {
 			page = g.p.FootprintPages - 1
 		}
+	} else {
+		page = g.uint64n(g.p.FootprintPages)
 	}
-	return page*(addr.PageSize/addr.BlockSize) + g.rng.Uint64()%(addr.PageSize/addr.BlockSize)
+	return page*blocksPerPage + g.uint64n(blocksPerPage)
 }
 
 // Next produces the next instruction window.
 func (g *Generator) Next() Op {
 	g.ops++
 	// Compute gap: mean 1000/MemPer1000 - 1, geometric-ish jitter.
-	mean := 1000/g.p.MemPer1000 - 1
-	compute := mean
-	if mean > 0 {
-		compute = g.rng.Intn(2*mean + 1)
+	compute := g.meanGap
+	if compute > 0 {
+		compute = g.rng.Intn(2*g.meanGap + 1)
 	}
 
 	var block uint64
@@ -160,9 +189,9 @@ func (g *Generator) Next() Op {
 	r := g.rng.Float64()
 	switch {
 	case r < g.p.HotProb:
-		block = g.rng.Uint64() % (g.p.HotPages * (addr.PageSize / addr.BlockSize))
+		block = g.uint64n(g.hotBlocks)
 	case r < g.p.HotProb+g.p.SeqProb:
-		g.cursor = (g.cursor + uint64(g.p.StrideBlocks)) % g.footprintBlocks()
+		g.cursor = (g.cursor + uint64(g.p.StrideBlocks)) % g.fpBlocks
 		block = g.cursor
 	case r < g.p.HotProb+g.p.SeqProb+g.p.ChaseProb:
 		block = g.skewedBlock()

@@ -1,10 +1,93 @@
 package workload
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 
 	"deact/internal/addr"
 )
+
+// TestSkewedDrawSequence replays the documented RNG draw sequence and
+// asserts the generator consumes exactly those draws: one component draw,
+// one page draw (Float64 when skewed, bounded Uint64 when uniform), one
+// in-page block draw, one write draw. The original implementation burned a
+// dead Uint64 page draw before the skewed path, which this test catches.
+func TestSkewedDrawSequence(t *testing.T) {
+	for _, skew := range []float64{0, 2.5} {
+		p := Profile{
+			Name: "seq-check", Suite: "test", FootprintPages: 300,
+			ChaseProb: 1, MemPer1000: 1000, SkewExp: skew,
+		}
+		g, err := NewGenerator(p, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := rand.New(rand.NewSource(77))
+		refUint64n := func(n uint64) uint64 {
+			if n&(n-1) == 0 {
+				return ref.Uint64() & (n - 1)
+			}
+			limit := ^uint64(0) - ^uint64(0)%n
+			for {
+				if v := ref.Uint64(); v < limit {
+					return v % n
+				}
+			}
+		}
+		for i := 0; i < 500; i++ {
+			op := g.Next()
+			// MemPer1000=1000 → meanGap 0 → no compute draw.
+			ref.Float64() // component pick (always chase here)
+			var page uint64
+			if skew > 1 {
+				u := ref.Float64()
+				page = uint64(float64(p.FootprintPages) * math.Pow(u, skew))
+				if page >= p.FootprintPages {
+					page = p.FootprintPages - 1
+				}
+			} else {
+				page = refUint64n(p.FootprintPages)
+			}
+			block := page*blocksPerPage + refUint64n(blocksPerPage)
+			ref.Float64() // write draw (WriteProb 0 → always false)
+			want := vbase + addr.VAddr(block*addr.BlockSize)
+			if op.Addr != want {
+				t.Fatalf("skew=%v op %d: addr %#x, want %#x — RNG stream out of sync", skew, i, op.Addr, want)
+			}
+		}
+	}
+}
+
+// TestUint64nUnbiasedRange: bounded draws stay in range and cover small
+// bounds roughly uniformly (the modulo-bias regression guard).
+func TestUint64nUnbiasedRange(t *testing.T) {
+	p := Profile{Name: "u", Suite: "test", FootprintPages: 1, MemPer1000: 500}
+	g, err := NewGenerator(p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		v := g.uint64n(3)
+		if v >= 3 {
+			t.Fatalf("uint64n(3) = %d out of range", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < n/3-n/20 || c > n/3+n/20 {
+			t.Fatalf("uint64n(3) skewed: counts=%v (value %d)", counts, v)
+		}
+	}
+	// Power-of-two bounds take the mask path; range check only.
+	for i := 0; i < 1000; i++ {
+		if v := g.uint64n(64); v >= 64 {
+			t.Fatalf("uint64n(64) = %d out of range", v)
+		}
+	}
+}
 
 func TestCatalogComplete(t *testing.T) {
 	cat := Catalog()
