@@ -6,6 +6,7 @@
 //	deact-report -out EXPERIMENTS.md
 //	deact-report -parallelism 8        # bound the simulation worker pool
 //	deact-report -cpuprofile cpu.prof  # profile the hot simulation paths
+//	deact-report -memprofile mem.prof  # allocation profile after the run
 //
 // Independent simulations run concurrently on a worker pool of
 // -parallelism slots (default: GOMAXPROCS). The report is byte-identical
@@ -17,10 +18,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime/pprof"
 	"strings"
 
 	"deact/internal/experiments"
+	"deact/internal/profiling"
 )
 
 func main() {
@@ -42,25 +43,15 @@ func run() error {
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
 		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the full report run to this file")
+		memProf = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
 	flag.Parse()
 
-	if *profile != "" {
-		pf, err := os.Create(*profile)
-		if err != nil {
-			return err
-		}
-		if err := pprof.StartCPUProfile(pf); err != nil {
-			pf.Close()
-			return err
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			if err := pf.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "deact-report:", err)
-			}
-		}()
+	stopCPU, err := profiling.StartCPU("deact-report", *profile)
+	if err != nil {
+		return err
 	}
+	defer stopCPU()
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
 	if *benches != "" {
@@ -90,5 +81,5 @@ func run() error {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
-	return nil
+	return profiling.WriteHeap(*memProf)
 }

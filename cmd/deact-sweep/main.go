@@ -9,10 +9,12 @@
 //	deact-sweep -sweep pairs      # §V-D2:     DeACT-N pairs per way
 //	deact-sweep -sweep fabric     # Figure 15: fabric latency
 //	deact-sweep -sweep nodes      # Figure 16: node count
+//	deact-sweep -sweep nodes -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Every (scheme, benchmark, point) simulation of a sweep is independent;
 // they run concurrently on a worker pool of -parallelism slots (default:
 // GOMAXPROCS). Output is identical at every parallelism level.
+// -cpuprofile/-memprofile profile the whole sweep, matching deact-report.
 package main
 
 import (
@@ -22,20 +24,47 @@ import (
 	"strings"
 
 	"deact/internal/experiments"
+	"deact/internal/profiling"
 	"deact/internal/stats"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deact-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+// run carries the whole sweep so defers (profile flush) execute on error
+// paths too, instead of being skipped by os.Exit.
+func run() error {
 	var (
-		sweep   = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
-		warmup  = flag.Uint64("warmup", 60_000, "warmup instructions per core")
-		measure = flag.Uint64("measure", 50_000, "measured instructions per core")
-		cores   = flag.Int("cores", 2, "cores per node")
-		seed    = flag.Int64("seed", 42, "random seed")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
-		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
+		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core")
+		measure    = flag.Uint64("measure", 50_000, "measured instructions per core")
+		cores      = flag.Int("cores", 2, "cores per node")
+		seed       = flag.Int64("seed", 42, "random seed")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
+		par        = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the full sweep to this file")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 	)
 	flag.Parse()
+
+	// Usage errors exit 2 (before any profile is started), runtime
+	// failures exit 1 — the same convention cmd/benchgate follows.
+	switch *sweep {
+	case "stu", "assoc", "acm", "pairs", "fabric", "nodes":
+	default:
+		fmt.Fprintf(os.Stderr, "deact-sweep: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+
+	stopCPU, err := profiling.StartCPU("deact-sweep", *cpuProfile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
 	if *benches != "" {
@@ -43,10 +72,7 @@ func main() {
 	}
 	h := experiments.New(opts)
 
-	var (
-		tbl stats.Table
-		err error
-	)
+	var tbl stats.Table
 	switch *sweep {
 	case "stu":
 		tbl, err = h.Figure13()
@@ -60,14 +86,12 @@ func main() {
 		tbl, err = h.Figure15()
 	case "nodes":
 		tbl, err = h.Figure16()
-	default:
-		fmt.Fprintf(os.Stderr, "deact-sweep: unknown sweep %q\n", *sweep)
-		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "deact-sweep:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Print(tbl.Render())
 	fmt.Printf("(%d simulation runs)\n", h.CachedRuns())
+
+	return profiling.WriteHeap(*memProfile)
 }

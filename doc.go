@@ -26,17 +26,39 @@
 // (see CHANGES.md for the measured trajectory; BenchmarkEngine and
 // BenchmarkCoreRun are the guards).
 //
+// Contention is modeled by a batched calendar engine (package sim): each
+// memory-device bank, controller port and fabric link direction is a
+// sim.Server whose in-order arrivals pay a tail compare and whose
+// out-of-order arrivals book into a small gap calendar; sim.Resource keeps
+// the general sorted-interval form for the STU port. Both retire state
+// entirely in the simulated past against the engine clock (sim.Clock,
+// wired by core.NewSystem) — exact, O(1)-amortized pruning that replaced
+// the old lossy 512-entry calendar cap. Grants are bit-identical to the
+// unpruned interval calendar (the sim package cross-checks them
+// property-style), so reports at a fixed seed are byte-identical across
+// the rewrite. BenchmarkMemdevAccess and BenchmarkFabricTraverse guard the
+// device-level cost (~tens of ns and 0 allocs per access); the cache
+// hierarchy adds a per-set MRU way cache so repeat hits skip the way scan.
+//
 // Entry points:
 //
 //   - cmd/deact-sim     — run one benchmark under one scheme
-//   - cmd/deact-sweep   — run one sensitivity sweep (§V-D, -parallelism N)
+//   - cmd/deact-sweep   — run one sensitivity sweep (§V-D, -parallelism N,
+//     -cpuprofile/-memprofile)
 //   - cmd/deact-report  — regenerate EXPERIMENTS.md (all tables/figures,
-//     -parallelism N, -cpuprofile for the hot paths)
+//     -parallelism N, -cpuprofile/-memprofile)
+//   - cmd/benchgate     — CI benchmark-regression gate (median time/op and
+//     allocs/op budgets over `go test -bench` output)
 //   - examples/         — five runnable walkthroughs of the public API
 //   - bench_test.go     — one testing.B benchmark per table and figure
 //     (-short selects the CI smoke scale)
 //
-// CI (.github/workflows/ci.yml) runs go build, go vet, a gofmt check,
-// go test -race, and a one-iteration -short -benchmem benchmark smoke
-// (uploaded as a build artifact) on every push and pull request.
+// CI (.github/workflows/ci.yml) runs go build, go vet, staticcheck (SA
+// checks, pinned), a gofmt check, go test -race, a one-iteration -short
+// -benchmem benchmark smoke (uploaded as a build artifact), a
+// benchmark-regression gate that reruns BenchmarkEngine/BenchmarkCoreRun
+// on the PR base and fails on >20% median time/op or any allocs/op
+// growth (cmd/benchgate; benchstat renders the human-readable delta), and
+// a golden-report determinism job that diffs a short-scale
+// cmd/deact-report run against testdata/golden-report-short.md.
 package deact

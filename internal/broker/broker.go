@@ -31,8 +31,15 @@ type Broker struct {
 	meta   *acm.Store
 	rng    *rand.Rand
 
-	free      []addr.FPage // allocatable pages, random-pick pool
-	owner     map[addr.FPage]uint16
+	// The random-pick free pool is a lazily materialized permutation: it
+	// behaves exactly like a []addr.FPage initialized to the identity and
+	// shrunk by swap-remove, but only the slots disturbed by draws are
+	// stored, so building a broker is O(1) in the pool size and a run's
+	// footprint is O(pages actually allocated). freeAt/setFree implement
+	// the virtual indexing.
+	freeCount uint64                      // virtual pool length
+	freeMods  map[uint64]addr.FPage       // sparse overrides of the identity slot i → page i
+	owner     []uint16                    // per-page owning node + 1; 0 = unowned
 	nodeMaps  map[uint16]*pagetable.Table // per-node FAM page tables
 	hugeNext  uint64                      // next 1GB region index for shared regions
 	randLimit uint64                      // pages >= randLimit belong to carved shared regions
@@ -45,24 +52,39 @@ func New(layout addr.Layout, seed int64) (*Broker, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}
-	b := &Broker{
-		layout:   layout,
-		meta:     acm.NewStore(layout),
-		rng:      rand.New(rand.NewSource(seed)),
-		owner:    map[addr.FPage]uint16{},
-		nodeMaps: map[uint16]*pagetable.Table{},
-	}
 	usable := layout.UsableFAMPages()
+	b := &Broker{
+		layout:    layout,
+		meta:      acm.NewStore(layout),
+		rng:       rand.New(rand.NewSource(seed)),
+		freeCount: usable,
+		freeMods:  map[uint64]addr.FPage{},
+		owner:     make([]uint16, usable),
+		nodeMaps:  map[uint16]*pagetable.Table{},
+	}
 	// Shared 1GB regions are carved from the top of the usable area,
 	// growing downward; the random-allocation pool keeps everything below
 	// the carve boundary.
 	b.hugeNext = usable / addr.PagesPerHuge
 	b.randLimit = usable
-	b.free = make([]addr.FPage, 0, usable)
-	for p := uint64(0); p < usable; p++ {
-		b.free = append(b.free, addr.FPage(p))
-	}
 	return b, nil
+}
+
+// freeAt reads virtual free-pool slot i.
+func (b *Broker) freeAt(i uint64) addr.FPage {
+	if p, ok := b.freeMods[i]; ok {
+		return p
+	}
+	return addr.FPage(i)
+}
+
+// setFree writes virtual free-pool slot i.
+func (b *Broker) setFree(i uint64, p addr.FPage) {
+	if uint64(p) == i {
+		delete(b.freeMods, i)
+		return
+	}
+	b.freeMods[i] = p
 }
 
 // Meta exposes the access-control metadata store (read by the STU).
@@ -71,13 +93,19 @@ func (b *Broker) Meta() *acm.Store { return b.meta }
 // Layout returns the pool layout.
 func (b *Broker) Layout() addr.Layout { return b.layout }
 
-// takeRandom removes and returns a random free page.
+// takeRandom removes and returns a random free page: a swap-remove from the
+// virtual pool, drawing the identical page sequence (per seed) the eagerly
+// built pool drew.
 func (b *Broker) takeRandom() (addr.FPage, error) {
-	for len(b.free) > 0 {
-		i := b.rng.Intn(len(b.free))
-		p := b.free[i]
-		b.free[i] = b.free[len(b.free)-1]
-		b.free = b.free[:len(b.free)-1]
+	for b.freeCount > 0 {
+		i := uint64(b.rng.Intn(int(b.freeCount)))
+		p := b.freeAt(i)
+		last := b.freeCount - 1
+		if i != last {
+			b.setFree(i, b.freeAt(last))
+		}
+		delete(b.freeMods, last)
+		b.freeCount = last
 		// Skip pages consumed by shared regions carved after pool build.
 		if uint64(p) >= b.randLimit {
 			continue
@@ -97,7 +125,7 @@ func (b *Broker) AllocatePage(node uint16) (addr.FPage, error) {
 	if err != nil {
 		return 0, err
 	}
-	b.owner[p] = node
+	b.owner[p] = node + 1
 	b.allocated++
 	if err := b.meta.Set(p, acm.Entry{Owner: node, Perm: acm.PermRWX}); err != nil {
 		return 0, err
@@ -117,7 +145,7 @@ func (b *Broker) NodeTable(node uint16) (*pagetable.Table, error) {
 		if err != nil {
 			return 0, err
 		}
-		b.owner[p] = node
+		b.owner[p] = node + 1
 		return uint64(p), nil
 	}
 	t, err := pagetable.New(fmt.Sprintf("fam-pt.%d", node), alloc)
@@ -153,12 +181,13 @@ func (b *Broker) MapForNode(node uint16, npPage addr.NPPage) (addr.FPage, error)
 // FreePage returns a page to the pool and clears its metadata. Only the
 // recorded owner may free.
 func (b *Broker) FreePage(node uint16, p addr.FPage) error {
-	if b.owner[p] != node {
-		return fmt.Errorf("broker: node %d freeing page %d owned by node %d", node, p, b.owner[p])
+	if uint64(p) >= uint64(len(b.owner)) || b.owner[p] != node+1 {
+		return fmt.Errorf("broker: node %d freeing page %d it does not own", node, p)
 	}
-	delete(b.owner, p)
+	b.owner[p] = 0
 	b.meta.Clear(p)
-	b.free = append(b.free, p)
+	b.setFree(b.freeCount, p)
+	b.freeCount++
 	b.allocated--
 	return nil
 }
@@ -206,7 +235,7 @@ func (b *Broker) SharedPageFor(node uint16, npPage addr.NPPage, huge, offset uin
 func (b *Broker) OwnedPages(node uint16) uint64 {
 	var n uint64
 	for _, o := range b.owner {
-		if o == node {
+		if o == node+1 {
 			n++
 		}
 	}
@@ -215,7 +244,7 @@ func (b *Broker) OwnedPages(node uint16) uint64 {
 
 // FreePages returns the number of allocatable pages remaining.
 func (b *Broker) FreePages() uint64 {
-	return uint64(len(b.free))
+	return b.freeCount
 }
 
 // MigrationCost summarizes the work a job migration performed (§VI): ACM
@@ -235,11 +264,12 @@ func (b *Broker) MigrateJob(from, to uint16) (MigrationCost, error) {
 		return MigrationCost{}, fmt.Errorf("broker: destination node %d out of ID space", to)
 	}
 	var cost MigrationCost
-	for p, o := range b.owner {
-		if o != from {
+	for pi, o := range b.owner {
+		if o != from+1 {
 			continue
 		}
-		b.owner[p] = to
+		p := addr.FPage(pi)
+		b.owner[p] = to + 1
 		// Page-table node pages carry no ACM entry of their own (the broker
 		// owns them); only data pages need ACM rewrites.
 		if !b.meta.Has(p) {

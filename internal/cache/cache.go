@@ -7,10 +7,16 @@
 // charges latencies and issues the write-back traffic (which, for FAM-zone
 // blocks, itself needs system-level translation — a detail the paper's
 // I-FAM/DeACT comparison depends on).
+//
+// The line arrays are laid out struct-of-arrays (tags, LRU stamps and dirty
+// bits in separate dense slices) so the hit path scans only tags, and a
+// direct-mapped way cache — one MRU way per set — resolves repeat accesses
+// to a set's most recent block with a single probe, no scan at all.
 package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"deact/internal/addr"
 )
@@ -21,19 +27,22 @@ type Victim struct {
 	Dirty bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	used  uint64 // LRU stamp
-}
+// invalidTag marks an empty way in the tags array. Real tags are block
+// numbers divided by the set count, far below 2^63 for any physical
+// address space this simulator models.
+const invalidTag = ^uint64(0)
 
 // Cache is one set-associative cache level.
 type Cache struct {
 	name     string
 	ways     int
 	sets     uint64
-	lines    []line // sets × ways, row-major
+	setMask  uint64   // sets-1 (set count is a power of two)
+	setShift uint     // log2(sets)
+	tags     []uint64 // sets × ways, row-major; invalidTag when empty
+	used     []uint64 // LRU stamps; 0 for empty ways (stamps start at 1)
+	dirty    []bool
+	mruWay   []uint16 // direct-mapped way cache: per set, the last way hit
 	tick     uint64
 	hits     uint64
 	misses   uint64
@@ -44,19 +53,29 @@ type Cache struct {
 // associativity and 64B blocks. Size must be a power-of-two multiple of
 // ways*64 so that the set count is a power of two.
 func New(name string, sizeBytes uint64, ways int) (*Cache, error) {
-	if ways <= 0 {
-		return nil, fmt.Errorf("cache %s: ways must be positive", name)
+	if ways <= 0 || ways > 1<<16 {
+		return nil, fmt.Errorf("cache %s: ways %d out of range", name, ways)
 	}
 	sets := sizeBytes / (addr.BlockSize * uint64(ways))
 	if sets == 0 || sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: %d bytes / %d ways yields non-power-of-two set count %d", name, sizeBytes, ways, sets)
 	}
-	return &Cache{
-		name:  name,
-		ways:  ways,
-		sets:  sets,
-		lines: make([]line, sets*uint64(ways)),
-	}, nil
+	n := sets * uint64(ways)
+	c := &Cache{
+		name:     name,
+		ways:     ways,
+		sets:     sets,
+		setMask:  sets - 1,
+		setShift: uint(bits.TrailingZeros64(sets)),
+		tags:     make([]uint64, n),
+		used:     make([]uint64, n),
+		dirty:    make([]bool, n),
+		mruWay:   make([]uint16, sets),
+	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c, nil
 }
 
 // MustNew is New for statically known-good configurations.
@@ -68,17 +87,18 @@ func MustNew(name string, sizeBytes uint64, ways int) *Cache {
 	return c
 }
 
-func (c *Cache) index(a uint64) (setBase uint64, tag uint64) {
+func (c *Cache) index(a uint64) (set uint64, tag uint64) {
 	blk := a >> addr.BlockShift
-	return (blk % c.sets) * uint64(c.ways), blk / c.sets
+	return blk & c.setMask, blk >> c.setShift
 }
 
 // Probe reports whether the block containing a is present, without touching
 // replacement state.
 func (c *Cache) Probe(a uint64) bool {
-	base, tag := c.index(a)
+	set, tag := c.index(a)
+	base := set * uint64(c.ways)
 	for w := 0; w < c.ways; w++ {
-		if l := &c.lines[base+uint64(w)]; l.valid && l.tag == tag {
+		if c.tags[base+uint64(w)] == tag {
 			return true
 		}
 	}
@@ -89,37 +109,52 @@ func (c *Cache) Probe(a uint64) bool {
 // whether the access hit and, on an allocation that displaced a valid block,
 // the victim.
 func (c *Cache) Access(a uint64, write bool) (hit bool, victim Victim, evicted bool) {
-	base, tag := c.index(a)
+	set, tag := c.index(a)
+	base := set * uint64(c.ways)
 	c.tick++
-	var lruIdx uint64
-	lruStamp := ^uint64(0)
+
+	// Way-cache probe: repeat access to the set's MRU block skips the scan.
+	if i := base + uint64(c.mruWay[set]); c.tags[i] == tag {
+		c.used[i] = c.tick
+		if write {
+			c.dirty[i] = true
+		}
+		c.hits++
+		return true, Victim{}, false
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + uint64(w)
-		l := &c.lines[i]
-		if l.valid && l.tag == tag {
-			l.used = c.tick
+		if c.tags[i] == tag {
+			c.used[i] = c.tick
 			if write {
-				l.dirty = true
+				c.dirty[i] = true
 			}
+			c.mruWay[set] = uint16(w)
 			c.hits++
 			return true, Victim{}, false
 		}
-		stamp := l.used
-		if !l.valid {
-			stamp = 0
-		}
-		if stamp < lruStamp {
-			lruStamp = stamp
+	}
+
+	// Miss: a second scan picks the LRU way (empty ways carry stamp 0 and
+	// lose every comparison, so they fill first; ties go to the lowest way).
+	c.misses++
+	lruIdx := base
+	lruStamp := c.used[base]
+	for w := 1; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.used[i] < lruStamp {
+			lruStamp = c.used[i]
 			lruIdx = i
 		}
 	}
-	c.misses++
-	l := &c.lines[lruIdx]
-	if l.valid {
-		victim = Victim{Addr: c.reconstruct(lruIdx, l.tag), Dirty: l.dirty}
+	if c.tags[lruIdx] != invalidTag {
+		victim = Victim{Addr: c.reconstruct(lruIdx, c.tags[lruIdx]), Dirty: c.dirty[lruIdx]}
 		evicted = true
 	}
-	*l = line{tag: tag, valid: true, dirty: write, used: c.tick}
+	c.tags[lruIdx] = tag
+	c.dirty[lruIdx] = write
+	c.used[lruIdx] = c.tick
+	c.mruWay[set] = uint16(lruIdx - base)
 	c.inserted++
 	return false, victim, evicted
 }
@@ -127,19 +162,22 @@ func (c *Cache) Access(a uint64, write bool) (hit bool, victim Victim, evicted b
 // reconstruct rebuilds a block address from a line index and tag.
 func (c *Cache) reconstruct(lineIdx, tag uint64) uint64 {
 	set := lineIdx / uint64(c.ways)
-	return (tag*c.sets + set) << addr.BlockShift
+	return (tag<<c.setShift | set) << addr.BlockShift
 }
 
 // Invalidate removes the block containing a if present, returning whether it
 // was present and dirty (the caller must write it back if so — needed for
 // inclusive back-invalidation).
 func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
-	base, tag := c.index(a)
+	set, tag := c.index(a)
+	base := set * uint64(c.ways)
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+uint64(w)]
-		if l.valid && l.tag == tag {
-			present, dirty = true, l.dirty
-			*l = line{}
+		i := base + uint64(w)
+		if c.tags[i] == tag {
+			present, dirty = true, c.dirty[i]
+			c.tags[i] = invalidTag
+			c.used[i] = 0
+			c.dirty[i] = false
 			return present, dirty
 		}
 	}

@@ -110,9 +110,12 @@ func (h *Hierarchy) Access(core int, a uint64, write bool) (HitLevel, []uint64) 
 		}
 		if dirty {
 			writebacks = append(writebacks, victim.Addr)
+			// Store the (possibly regrown) scratch only when it was
+			// touched: the unconditional slice store was a measurable
+			// write-barrier cost on the miss path.
+			h.wbBuf = writebacks
 		}
 	}
-	h.wbBuf = writebacks
 	if hit {
 		return L3, writebacks
 	}

@@ -70,6 +70,15 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.cores = append(s.cores, row)
 	}
+	// Bind the engine clock into every contended resource: calendars prune
+	// themselves against the engine's current time (no future access chain
+	// can start before it), keeping Acquire O(1) amortized for arbitrarily
+	// long runs.
+	s.fab.Bind(s.engine)
+	s.fam.Bind(s.engine)
+	for _, n := range s.nodes {
+		n.Bind(s.engine)
+	}
 	return s, nil
 }
 

@@ -65,14 +65,23 @@ func newWindow(capacity int) window { return window{buf: make([]sim.Time, capaci
 // non-empty.
 func (w *window) min() sim.Time { return w.buf[w.head] }
 
+// idx maps a logical window position to its ring slot without the modulo
+// the hot path otherwise pays per element (head+i < 2·len always holds).
+func (w *window) idx(i int) int {
+	j := w.head + i
+	if c := len(w.buf); j >= c {
+		j -= c
+	}
+	return j
+}
+
 // insert adds a completion time, keeping the ring sorted.
 func (w *window) insert(t sim.Time) {
-	c := len(w.buf)
 	// Binary search for the first element > t among the n sorted entries.
 	lo, hi := 0, w.n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if w.buf[(w.head+mid)%c] <= t {
+		if w.buf[w.idx(mid)] <= t {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -80,16 +89,18 @@ func (w *window) insert(t sim.Time) {
 	}
 	// Shift entries lo..n-1 one slot toward the tail.
 	for i := w.n; i > lo; i-- {
-		w.buf[(w.head+i)%c] = w.buf[(w.head+i-1)%c]
+		w.buf[w.idx(i)] = w.buf[w.idx(i-1)]
 	}
-	w.buf[(w.head+lo)%c] = t
+	w.buf[w.idx(lo)] = t
 	w.n++
 }
 
 // drain removes every completion at or before now.
 func (w *window) drain(now sim.Time) {
 	for w.n > 0 && w.buf[w.head] <= now {
-		w.head = (w.head + 1) % len(w.buf)
+		if w.head++; w.head == len(w.buf) {
+			w.head = 0
+		}
 		w.n--
 	}
 }

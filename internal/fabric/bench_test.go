@@ -1,0 +1,50 @@
+package fabric
+
+import (
+	"testing"
+
+	"deact/internal/sim"
+)
+
+// benchClock is a manually advanced sim.Clock standing in for the engine.
+type benchClock struct{ now sim.Time }
+
+func (c *benchClock) Now() sim.Time { return c.now }
+
+// BenchmarkFabricTraverse measures one packet traversal on the batched
+// per-direction link model, alternating directions the way request/response
+// pairs do. "inorder" exercises the tail fast path; "outoforder" jitters
+// arrivals backward to force gap bookings. allocs/op must be zero in steady
+// state.
+func BenchmarkFabricTraverse(b *testing.B) {
+	run := func(b *testing.B, jitter sim.Time) {
+		f := New(Config{Latency: sim.NS(500), PacketTime: sim.NS(50)})
+		clk := &benchClock{}
+		f.Bind(clk)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var now sim.Time
+		for i := 0; i < b.N; i++ {
+			now += 120
+			// The engine clock trails the arrival front by the in-flight
+			// window, as real event dispatch does.
+			if now > 2*sim.Microsecond {
+				clk.now = now - 2*sim.Microsecond
+			}
+			arrive := now
+			if jitter != 0 {
+				back := (sim.Time(i) * 7919) % jitter
+				if back < arrive {
+					arrive -= back
+				}
+			}
+			dir := ToFAM
+			if i%2 == 1 {
+				dir = ToNode
+			}
+			f.Traverse(arrive, dir)
+		}
+	}
+	b.Run("inorder", func(b *testing.B) { run(b, 0) })
+	b.Run("outoforder", func(b *testing.B) { run(b, 2000) })
+}

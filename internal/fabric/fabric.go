@@ -10,6 +10,10 @@
 // gap — the "next free time" reservation discipline reserves across idle
 // gaps, so request and response streams must not share a reservation
 // window.
+//
+// Each direction is a batched sim.Server: in-order packets pay a tail
+// compare, out-of-order ones consult the link's gap calendar, and binding
+// the engine clock retires past idle windows exactly.
 package fabric
 
 import (
@@ -28,6 +32,18 @@ const (
 	// ToNode carries response packets back.
 	ToNode
 )
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case ToFAM:
+		return "to-fam"
+	case ToNode:
+		return "to-node"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
 
 // Config describes the interconnect.
 type Config struct {
@@ -49,10 +65,9 @@ func (c Config) Validate() error {
 // Fabric is the shared interconnect.
 type Fabric struct {
 	cfg      Config
-	up       sim.Resource // node → FAM
-	down     sim.Resource // FAM → node
+	links    [2]sim.Server // indexed by Direction
 	packets  uint64
-	maxDelay sim.Time
+	maxDelay [2]sim.Time // worst observed one-way delay per direction
 }
 
 // New builds a fabric. Invalid configs panic (they are validated by
@@ -64,19 +79,21 @@ func New(cfg Config) *Fabric {
 	return &Fabric{cfg: cfg}
 }
 
+// Bind attaches the engine clock to both link directions (see sim.Clock).
+func (f *Fabric) Bind(c sim.Clock) {
+	f.links[ToFAM].Bind(c)
+	f.links[ToNode].Bind(c)
+}
+
 // Traverse sends one 64B packet across the given direction's link starting
 // at now and returns its arrival time at the far side: queueing at the
 // shared link, serialization, then propagation.
 func (f *Fabric) Traverse(now sim.Time, dir Direction) sim.Time {
-	link := &f.up
-	if dir == ToNode {
-		link = &f.down
-	}
-	_, sent := link.Acquire(now, f.cfg.PacketTime)
+	_, sent := f.links[dir].Acquire(now, f.cfg.PacketTime)
 	f.packets++
 	arrive := sent + f.cfg.Latency
-	if d := arrive - now; d > f.maxDelay {
-		f.maxDelay = d
+	if d := arrive - now; d > f.maxDelay[dir] {
+		f.maxDelay[dir] = d
 	}
 	return arrive
 }
@@ -96,9 +113,14 @@ func (f *Fabric) Packets() uint64 { return f.packets }
 // Latency returns the configured one-way latency.
 func (f *Fabric) Latency() sim.Time { return f.cfg.Latency }
 
-// MaxObservedDelay returns the worst end-to-end one-way delay seen,
-// including queueing (contention diagnostics for the Figure 16 sweep).
-func (f *Fabric) MaxObservedDelay() sim.Time { return f.maxDelay }
+// MaxObservedDelay returns the worst end-to-end one-way delay seen in the
+// given direction, including queueing (contention diagnostics for the
+// Figure 16 sweep). Request and response delays are tracked separately:
+// the directions are independent links with different contention, and
+// mixing them hid which side of the fabric saturated.
+func (f *Fabric) MaxObservedDelay(dir Direction) sim.Time { return f.maxDelay[dir] }
 
 // BusyTime returns the combined reservation time of both links.
-func (f *Fabric) BusyTime() sim.Time { return f.up.BusyTime() + f.down.BusyTime() }
+func (f *Fabric) BusyTime() sim.Time {
+	return f.links[ToFAM].BusyTime() + f.links[ToNode].BusyTime()
+}

@@ -32,8 +32,11 @@ func TestContentionSerializes(t *testing.T) {
 	if a2 != a1+sim.NS(10) {
 		t.Fatalf("no contention: a1=%v a2=%v", a1, a2)
 	}
-	if f.MaxObservedDelay() != a2 {
-		t.Fatalf("max delay %v, want %v", f.MaxObservedDelay(), a2)
+	if f.MaxObservedDelay(ToFAM) != a2 {
+		t.Fatalf("max delay %v, want %v", f.MaxObservedDelay(ToFAM), a2)
+	}
+	if f.MaxObservedDelay(ToNode) != 0 {
+		t.Fatalf("response direction saw no packets, max delay %v", f.MaxObservedDelay(ToNode))
 	}
 }
 

@@ -5,9 +5,16 @@
 //   - the fabric-attached NVM pool (16GB, read 60ns / write 150ns, 32 banks,
 //     128 outstanding requests).
 //
-// A device is a set of banks, each a serially occupied sim.Resource, fronted
+// A device is a set of banks, each a serially occupied sim.Server, fronted
 // by a controller port that serializes request issue. Requests are mapped to
 // banks by block-interleaving, the common DRAM/NVM layout.
+//
+// The contention model is batched: each bank (and the port) keeps a tail
+// time served in O(1) for in-order arrivals and a small gap calendar for
+// out-of-order ones. Bind attaches the engine clock, which retires gaps
+// entirely in the past; on top of each bank pruning itself on access, a
+// rotating scan hint prunes one further bank per request so rarely touched
+// banks' calendars are retired between their own accesses.
 package memdev
 
 import (
@@ -47,9 +54,13 @@ func (c Config) Validate() error {
 
 // Device is a banked memory device.
 type Device struct {
-	cfg   Config
-	port  sim.Resource
-	banks []sim.Resource
+	cfg      Config
+	clock    sim.Clock
+	port     sim.Server
+	banks    []sim.Server
+	bankMask uint64 // len(banks)-1 when a power of two, else 0
+	scan     int    // rotating prune hint over banks
+	tick     uint64 // access counter driving the rotating prune
 
 	reads  uint64
 	writes uint64
@@ -65,12 +76,30 @@ func New(cfg Config) *Device {
 	if cfg.InterleaveShift == 0 {
 		cfg.InterleaveShift = 6
 	}
-	return &Device{cfg: cfg, banks: make([]sim.Resource, cfg.Banks)}
+	d := &Device{cfg: cfg, banks: make([]sim.Server, cfg.Banks)}
+	if n := uint64(cfg.Banks); n&(n-1) == 0 {
+		d.bankMask = n - 1
+	}
+	return d
+}
+
+// Bind attaches the engine clock to the port and every bank, enabling exact
+// retirement of past calendar state (see sim.Clock).
+func (d *Device) Bind(c sim.Clock) {
+	d.clock = c
+	d.port.Bind(c)
+	for i := range d.banks {
+		d.banks[i].Bind(c)
+	}
 }
 
 // bankFor maps an address to a bank by block interleaving.
-func (d *Device) bankFor(a uint64) *sim.Resource {
-	return &d.banks[(a>>d.cfg.InterleaveShift)%uint64(len(d.banks))]
+func (d *Device) bankFor(a uint64) *sim.Server {
+	blk := a >> d.cfg.InterleaveShift
+	if d.bankMask != 0 {
+		return &d.banks[blk&d.bankMask]
+	}
+	return &d.banks[blk%uint64(len(d.banks))]
 }
 
 // Access reserves the controller port and the target bank for one 64B
@@ -85,6 +114,16 @@ func (d *Device) Access(now sim.Time, a uint64, write bool) sim.Time {
 		d.reads++
 	}
 	_, done := d.bankFor(a).Acquire(issued, svc)
+	if d.tick++; d.tick&15 == 0 && d.clock != nil {
+		// Rotating scan hint: periodically retire one bank's past gaps, so
+		// every bank's calendar is pruned at a fraction of the device's
+		// access rate even if the bank itself is cold.
+		d.scan++
+		if d.scan >= len(d.banks) {
+			d.scan = 0
+		}
+		d.banks[d.scan].Prune(d.clock.Now())
+	}
 	return done
 }
 

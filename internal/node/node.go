@@ -137,10 +137,12 @@ type Node struct {
 	osa   *osAllocator
 
 	// direct is the OS/broker-known NP→FAM backing, dense over the FAM
-	// zone (index: NP page − first FAM-zone page). It sits on E-FAM's
-	// per-miss path, where a map lookup per access is measurable.
-	direct    []addr.FPage
-	directSet []bool
+	// zone (index: NP page − first FAM-zone page), storing FAM page + 1 so
+	// the zero value means "unbacked". It sits on E-FAM's per-miss path,
+	// where a map lookup per access is measurable. The OS allocator hands
+	// out zone pages in bump order, so the array grows on demand to the
+	// allocated prefix instead of the whole zone.
+	direct []addr.FPage
 
 	// walkBuf is the scratch buffer for page-table walk steps; translate
 	// reuses it so TLB misses do not allocate.
@@ -158,13 +160,11 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 		return nil, fmt.Errorf("node: broker, fabric and FAM device required")
 	}
 	n := &Node{
-		cfg:       cfg,
-		brk:       brk,
-		fab:       fab,
-		fam:       fam,
-		dram:      memdev.New(cfg.DRAM),
-		direct:    make([]addr.FPage, cfg.Layout.FAMZonePages()),
-		directSet: make([]bool, cfg.Layout.FAMZonePages()),
+		cfg:  cfg,
+		brk:  brk,
+		fab:  fab,
+		fam:  fam,
+		dram: memdev.New(cfg.DRAM),
 	}
 
 	var err error
@@ -240,15 +240,17 @@ func (n *Node) famZoneIndex(p addr.NPPage) uint64 {
 // the broker-installed FAM page table).
 func (n *Node) backWithFAM(p addr.NPPage) error {
 	i := n.famZoneIndex(p)
-	if n.directSet[i] {
+	if i >= uint64(len(n.direct)) {
+		n.direct = append(n.direct, make([]addr.FPage, i+1-uint64(len(n.direct)))...)
+	}
+	if n.direct[i] != 0 {
 		return nil
 	}
 	fp, err := n.brk.MapForNode(n.cfg.ID, p)
 	if err != nil {
 		return err
 	}
-	n.direct[i] = fp
-	n.directSet[i] = true
+	n.direct[i] = fp + 1
 	return nil
 }
 
@@ -410,10 +412,10 @@ func (n *Node) memoryPath(now sim.Time, npa addr.NPAddr, write bool, isAT bool) 
 	switch n.cfg.Scheme {
 	case EFAM:
 		i := n.famZoneIndex(np)
-		if !n.directSet[i] {
+		if i >= uint64(len(n.direct)) || n.direct[i] == 0 {
 			return now, fmt.Errorf("node %d: E-FAM access to unbacked page %#x", n.cfg.ID, np)
 		}
-		fp := n.direct[i]
+		fp := n.direct[i] - 1
 		countData()
 		return n.famRT(now, addr.FFromNP(fp, npa.Offset()), write), nil
 
@@ -469,6 +471,17 @@ func (n *Node) writeback(now sim.Time, blockAddr uint64) {
 	n.stats.Writebacks++
 	if _, err := n.memoryPath(now, addr.NPAddr(blockAddr), true, false); err != nil {
 		n.stats.Denied++
+	}
+}
+
+// Bind attaches the engine clock to the node's contended resources (local
+// DRAM banks and the STU port) so their reservation calendars retire state
+// entirely in the past. The shared fabric and FAM device are bound once by
+// the system assembler, not per node.
+func (n *Node) Bind(c sim.Clock) {
+	n.dram.Bind(c)
+	if n.stuU != nil {
+		n.stuU.Bind(c)
 	}
 }
 

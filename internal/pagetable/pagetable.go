@@ -14,6 +14,10 @@
 // property the whole evaluation hinges on — in I-FAM each node page-table
 // step that lands in the FAM zone needs its own system-level translation,
 // which is how x86's 4 accesses balloon toward the 24 of nested paging.
+//
+// Table nodes live in one flat arena and link by index, not pointer: the
+// whole tree is a single pointer-free allocation the garbage collector
+// never scans, and a walk's per-level loads stay within one backing array.
 package pagetable
 
 import "fmt"
@@ -39,15 +43,14 @@ const levelMask = entriesPerNode - 1
 // broker's FAM pool.
 type PageAllocator func() (pageNumber uint64, err error)
 
-// tnode is one 512-entry table page. Interior nodes use children; leaf
-// (PTE-level) nodes use leaves/present. Dense arrays keep the per-walk
-// descent to two dependent loads per level with no hashing and no
-// allocation.
+// tnode is one 512-entry table page. Interior nodes store child arena
+// indices + 1 in slots (0 = no child); leaf (PTE-level) nodes store mapped
+// values + 1 (0 = not present). The +1 bias keeps the zero value meaningful
+// without separate presence arrays, so a node is one dense pointer-free
+// block.
 type tnode struct {
-	phys     uint64 // physical page number holding this 512-entry table
-	children []*tnode
-	leaves   []uint64
-	present  []bool
+	phys  uint64 // physical page number holding this 512-entry table
+	slots [entriesPerNode]uint64
 }
 
 // Table is a 4-level radix page table mapping uint64 page numbers to uint64
@@ -55,7 +58,7 @@ type tnode struct {
 type Table struct {
 	name  string
 	alloc PageAllocator
-	root  *tnode
+	nodes []tnode // arena; nodes[0] is the root
 
 	mapped     uint64
 	tableNodes uint64
@@ -66,29 +69,24 @@ func New(name string, alloc PageAllocator) (*Table, error) {
 	if alloc == nil {
 		return nil, fmt.Errorf("pagetable %s: nil allocator", name)
 	}
-	t := &Table{name: name, alloc: alloc}
-	root, err := t.newNode(false)
-	if err != nil {
+	t := &Table{name: name, alloc: alloc, nodes: make([]tnode, 0, 8)}
+	if _, err := t.newNode(); err != nil {
 		return nil, err
 	}
-	t.root = root
 	return t, nil
 }
 
-func (t *Table) newNode(leaf bool) (*tnode, error) {
+// newNode appends a fresh table node to the arena and returns its index.
+// Callers must not hold *tnode pointers across this call (the arena may
+// move); they re-index through t.nodes.
+func (t *Table) newNode() (uint32, error) {
 	p, err := t.alloc()
 	if err != nil {
-		return nil, fmt.Errorf("pagetable %s: allocating table node: %w", t.name, err)
+		return 0, fmt.Errorf("pagetable %s: allocating table node: %w", t.name, err)
 	}
 	t.tableNodes++
-	n := &tnode{phys: p}
-	if leaf {
-		n.leaves = make([]uint64, entriesPerNode)
-		n.present = make([]bool, entriesPerNode)
-	} else {
-		n.children = make([]*tnode, entriesPerNode)
-	}
-	return n, nil
+	t.nodes = append(t.nodes, tnode{phys: p})
+	return uint32(len(t.nodes) - 1), nil
 }
 
 // index returns the radix index of key at the given level (0 = root).
@@ -105,60 +103,69 @@ func entryAddr(phys uint64, idx uint16) uint64 {
 // Map installs key → value, allocating intermediate nodes as needed.
 // Remapping an existing key overwrites the old value.
 func (t *Table) Map(key, value uint64) error {
-	n := t.root
+	ni := uint32(0)
 	for lvl := 0; lvl < Levels-1; lvl++ {
 		idx := index(key, lvl)
-		child := n.children[idx]
-		if child == nil {
-			var err error
-			child, err = t.newNode(lvl == Levels-2)
+		child := t.nodes[ni].slots[idx]
+		if child == 0 {
+			ci, err := t.newNode()
 			if err != nil {
 				return err
 			}
-			n.children[idx] = child
+			t.nodes[ni].slots[idx] = uint64(ci) + 1
+			child = uint64(ci) + 1
 		}
-		n = child
+		ni = uint32(child - 1)
 	}
 	idx := index(key, Levels-1)
-	if !n.present[idx] {
+	if t.nodes[ni].slots[idx] == 0 {
 		t.mapped++
-		n.present[idx] = true
 	}
-	n.leaves[idx] = value
+	t.nodes[ni].slots[idx] = value + 1
 	return nil
 }
 
 // Unmap removes key, reporting whether it was mapped. Intermediate nodes
 // are retained (as real kernels do).
 func (t *Table) Unmap(key uint64) bool {
-	n := t.root
-	for lvl := 0; lvl < Levels-1; lvl++ {
-		n = n.children[index(key, lvl)]
-		if n == nil {
-			return false
-		}
-	}
-	idx := index(key, Levels-1)
-	if !n.present[idx] {
+	ni, ok := t.descend(key, Levels-1)
+	if !ok {
 		return false
 	}
-	n.present[idx] = false
-	n.leaves[idx] = 0
+	idx := index(key, Levels-1)
+	if t.nodes[ni].slots[idx] == 0 {
+		return false
+	}
+	t.nodes[ni].slots[idx] = 0
 	t.mapped--
 	return true
 }
 
-// Lookup returns the mapping for key without recording a walk.
-func (t *Table) Lookup(key uint64) (uint64, bool) {
-	n := t.root
-	for lvl := 0; lvl < Levels-1; lvl++ {
-		n = n.children[index(key, lvl)]
-		if n == nil {
+// descend walks interior levels 0..stop-1, returning the node serving key
+// at level stop.
+func (t *Table) descend(key uint64, stop int) (uint32, bool) {
+	ni := uint32(0)
+	for lvl := 0; lvl < stop; lvl++ {
+		child := t.nodes[ni].slots[index(key, lvl)]
+		if child == 0 {
 			return 0, false
 		}
+		ni = uint32(child - 1)
 	}
-	idx := index(key, Levels-1)
-	return n.leaves[idx], n.present[idx]
+	return ni, true
+}
+
+// Lookup returns the mapping for key without recording a walk.
+func (t *Table) Lookup(key uint64) (uint64, bool) {
+	ni, ok := t.descend(key, Levels-1)
+	if !ok {
+		return 0, false
+	}
+	v := t.nodes[ni].slots[index(key, Levels-1)]
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
 }
 
 // WalkStep records one page-table memory reference.
@@ -186,29 +193,35 @@ func (t *Table) WalkAppend(key uint64, startLevel int, buf []WalkStep) (steps []
 	if startLevel < 0 {
 		startLevel = 0
 	}
-	n := t.root
+	ni := uint32(0)
 	// Descend silently to startLevel: those entries came from a PTW cache.
 	for lvl := 0; lvl < startLevel && lvl < Levels-1; lvl++ {
-		child := n.children[index(key, lvl)]
-		if child == nil {
+		child := t.nodes[ni].slots[index(key, lvl)]
+		if child == 0 {
 			// The PTW cache claimed coverage the table no longer has; fall
 			// back to walking from here.
 			startLevel = lvl
 			break
 		}
-		n = child
+		ni = uint32(child - 1)
 	}
 	steps = buf
 	for lvl := startLevel; lvl < Levels; lvl++ {
 		idx := index(key, lvl)
+		n := &t.nodes[ni]
 		steps = append(steps, WalkStep{Level: lvl, EntryAddr: entryAddr(n.phys, idx), NodePhys: n.phys})
 		if lvl == Levels-1 {
-			return steps, n.leaves[idx], n.present[idx]
+			v := n.slots[idx]
+			if v == 0 {
+				return steps, 0, false
+			}
+			return steps, v - 1, true
 		}
-		n = n.children[idx]
-		if n == nil {
+		child := n.slots[idx]
+		if child == 0 {
 			return steps, 0, false
 		}
+		ni = uint32(child - 1)
 	}
 	return steps, 0, false
 }
@@ -217,14 +230,11 @@ func (t *Table) WalkAppend(key uint64, startLevel int, buf []WalkStep) (steps []
 // key at level (the value a PTW cache stores). ok is false if the node does
 // not exist yet.
 func (t *Table) NodePhysAt(key uint64, level int) (uint64, bool) {
-	n := t.root
-	for lvl := 0; lvl < level; lvl++ {
-		n = n.children[index(key, lvl)]
-		if n == nil {
-			return 0, false
-		}
+	ni, ok := t.descend(key, level)
+	if !ok {
+		return 0, false
 	}
-	return n.phys, true
+	return t.nodes[ni].phys, true
 }
 
 // Mapped returns the number of installed leaf mappings.
@@ -234,7 +244,7 @@ func (t *Table) Mapped() uint64 { return t.mapped }
 func (t *Table) TableNodes() uint64 { return t.tableNodes }
 
 // RootPhys returns the physical page of the root table (the CR3 analogue).
-func (t *Table) RootPhys() uint64 { return t.root.phys }
+func (t *Table) RootPhys() uint64 { return t.nodes[0].phys }
 
 // Name returns the table's name.
 func (t *Table) Name() string { return t.name }

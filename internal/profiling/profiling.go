@@ -1,0 +1,53 @@
+// Package profiling holds the pprof plumbing shared by the command-line
+// tools (cmd/deact-report, cmd/deact-sweep), so the -cpuprofile and
+// -memprofile flags behave identically everywhere.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop function
+// that flushes and closes it (reporting the close error on stderr under
+// tool, the caller's name, since stops run in defers). An empty path is a
+// no-op.
+func StartCPU(tool, path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+		}
+	}, nil
+}
+
+// WriteHeap writes an allocation profile of the settled live heap to path.
+// An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // settle the live heap before the snapshot
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -2,6 +2,15 @@ package sim
 
 import "sort"
 
+// Clock supplies the current simulated time. *Engine implements it; resource
+// calendars bound to a clock use it as a pruning watermark: no future request
+// can arrive before the engine's current time (access chains are computed
+// forward from the dispatching event), so bookings entirely in the past can
+// be retired exactly, without the over-serialization a lossy size cap causes.
+type Clock interface {
+	Now() Time
+}
+
 // Resource models a serially occupied hardware resource (a DRAM bank, a
 // fabric link direction, an STU port). A request occupies the resource for
 // its service time; overlapping requests queue.
@@ -15,13 +24,23 @@ import "sort"
 // though the link is idle in between — which silently serializes the whole
 // machine.
 //
-// The calendar is kept sorted, non-overlapping and maximally merged at all
+// The calendar is kept sorted, non-overlapping and adjacency-merged at all
 // times, so Acquire only needs a binary search for the arrival position, a
 // short forward walk to the first fitting gap, and an O(1) merge with the
 // (at most two) adjacent intervals — the common tail-append case touches
 // nothing else.
+//
+// Bind attaches a Clock whose Now() lower-bounds every future arrival;
+// Acquire then retires intervals that ended at or before that watermark.
+// Retirement is exact (only unreachable calendar state is dropped) and O(1)
+// amortized: each interval is appended once, skipped once, and compacted
+// away once. An unbound Resource keeps its whole calendar; production
+// resources are bound to the engine by core.NewSystem.
 type Resource struct {
-	intervals []interval // sorted by start, non-overlapping, adjacency-merged
+	clock     Clock
+	intervals []interval // intervals[head:] is live: sorted, non-overlapping
+	head      int        // retired prefix length, compacted away periodically
+	watermark Time       // highest Prune bound seen
 	busy      Time
 	uses      uint64
 }
@@ -30,15 +49,42 @@ type interval struct {
 	start, end Time
 }
 
-// maxIntervals bounds the booking calendar; when exceeded, the oldest
-// intervals are merged away (their gaps are no longer bookable, which only
-// over-serializes the distant past and keeps Acquire O(small)).
-const maxIntervals = 512
+// Bind attaches the pruning clock. The caller guarantees that no subsequent
+// Acquire arrives earlier than the clock's Now() at call time (true for the
+// engine: event chains only run forward from the current event).
+func (r *Resource) Bind(c Clock) { r.clock = c }
+
+// Prune retires intervals that end at or before w. The watermark is
+// monotone: an earlier w than previously seen is a no-op. Gaps straddling
+// the watermark stay bookable (only *fully* past intervals are dropped).
+func (r *Resource) Prune(w Time) {
+	if w <= r.watermark {
+		return
+	}
+	r.watermark = w
+	for r.head < len(r.intervals) && r.intervals[r.head].end <= w {
+		r.head++
+	}
+	// Compact once the retired prefix dominates the slice, so the backing
+	// array stays proportional to the live calendar.
+	if r.head >= 32 && r.head*2 >= len(r.intervals) {
+		n := copy(r.intervals, r.intervals[r.head:])
+		r.intervals = r.intervals[:n]
+		r.head = 0
+	}
+}
 
 // Acquire reserves the resource for service picoseconds starting no earlier
 // than now, in the earliest idle gap that fits. It returns the time at
-// which service starts and the time at which it completes.
+// which service starts and the time at which it completes. When a clock is
+// bound, now must not precede the clock's current time.
 func (r *Resource) Acquire(now, service Time) (start, done Time) {
+	// Amortized retirement: consulting the clock every call costs more
+	// than it saves, and the binary search skips retired intervals anyway;
+	// a periodic prune keeps the backing array bounded.
+	if r.clock != nil && r.uses&63 == 0 {
+		r.Prune(r.clock.Now())
+	}
 	r.uses++
 	r.busy += service
 	if service == 0 {
@@ -48,20 +94,19 @@ func (r *Resource) Acquire(now, service Time) (start, done Time) {
 	n := len(r.intervals)
 
 	// Fast path: arrival at or after the last booking — append or extend.
-	if n == 0 || start >= r.intervals[n-1].end {
+	if n == r.head || start >= r.intervals[n-1].end {
 		done = start + service
-		if n > 0 && r.intervals[n-1].end == start {
+		if n > r.head && r.intervals[n-1].end == start {
 			r.intervals[n-1].end = done
 		} else {
 			r.intervals = append(r.intervals, interval{start: start, end: done})
 		}
-		r.cap()
 		return start, done
 	}
 
 	// Intervals ending at or before the arrival can neither delay the
 	// request nor host it; binary-search past them.
-	i := sort.Search(n, func(j int) bool { return r.intervals[j].end > start })
+	i := r.head + sort.Search(n-r.head, func(j int) bool { return r.intervals[r.head+j].end > start })
 	for ; i < n; i++ {
 		iv := r.intervals[i]
 		if start+service <= iv.start {
@@ -76,7 +121,7 @@ func (r *Resource) Acquire(now, service Time) (start, done Time) {
 	// Insert [start, done) before index i, fusing with the neighbours when
 	// exactly adjacent (the calendar is already merged, so overlap is
 	// impossible: start ≥ intervals[i-1].end and done ≤ intervals[i].start).
-	prevTouch := i > 0 && r.intervals[i-1].end == start
+	prevTouch := i > r.head && r.intervals[i-1].end == start
 	nextTouch := i < n && r.intervals[i].start == done
 	switch {
 	case prevTouch && nextTouch:
@@ -91,35 +136,29 @@ func (r *Resource) Acquire(now, service Time) (start, done Time) {
 		copy(r.intervals[i+1:], r.intervals[i:])
 		r.intervals[i] = interval{start: start, end: done}
 	}
-	r.cap()
 	return start, done
 }
 
-// cap bounds the calendar: when it overflows, the oldest half is fused into
-// one opaque blob (its gaps are no longer bookable, which only
-// over-serializes the distant past and keeps Acquire O(small)).
-func (r *Resource) cap() {
-	if len(r.intervals) > maxIntervals {
-		half := len(r.intervals) / 2
-		r.intervals[half-1] = interval{start: r.intervals[0].start, end: r.intervals[half-1].end}
-		r.intervals = append(r.intervals[:0], r.intervals[half-1:]...)
-	}
-}
-
 // NextFree returns the end of the last booked interval — the earliest time
-// a request arriving after all current bookings could begin service.
+// a request arriving after all current bookings could begin service. With
+// every booking retired it returns the pruning watermark (no arrival can
+// precede it).
 func (r *Resource) NextFree() Time {
-	if len(r.intervals) == 0 {
-		return 0
+	if len(r.intervals) == r.head {
+		return r.watermark
 	}
 	return r.intervals[len(r.intervals)-1].end
 }
 
-// BusyTime returns the total time the resource has been reserved.
+// BusyTime returns the total time the resource has been reserved. Pruning
+// does not affect it.
 func (r *Resource) BusyTime() Time { return r.busy }
 
-// Uses returns the number of Acquire calls.
+// Uses returns the number of Acquire calls. Pruning does not affect it.
 func (r *Resource) Uses() uint64 { return r.uses }
 
-// Reset clears all reservation state.
-func (r *Resource) Reset() { *r = Resource{} }
+// live returns the number of unretired calendar intervals (tests).
+func (r *Resource) live() int { return len(r.intervals) - r.head }
+
+// Reset clears all reservation state, keeping the bound clock.
+func (r *Resource) Reset() { *r = Resource{clock: r.clock} }

@@ -1,0 +1,190 @@
+package sim
+
+// Server models the same contract as Resource — a serially occupied
+// resource whose requests may start in any idle window at or after their
+// arrival — with a representation batched for the common case: a single
+// tail time serves in-order arrivals in O(1), and only out-of-order
+// arrivals (a request computed by an access chain that started earlier than
+// another chain's bookings) consult a small calendar of idle gaps.
+//
+// The two representations are complements of each other: Resource stores
+// the busy intervals, Server stores the tail of the last booking plus the
+// idle gaps before it. For the memory-device banks and fabric links, whose
+// arrivals are overwhelmingly tail-ordered, the gap calendar stays near
+// empty and Acquire is a compare and an add.
+//
+// Like Resource, a Server bound to a Clock retires gaps that closed at or
+// before the engine's current time — exact pruning, since no future arrival
+// can precede it. Pruning is kept off the tail fast path: it runs when an
+// out-of-order arrival is about to scan the calendar, and when the calendar
+// needs room, both O(1) amortized (each gap is appended, skipped and
+// compacted away once).
+type Server struct {
+	clock     Clock
+	tail      Time  // end of the last booking; everything at/after is free
+	gaps      []gap // gaps[head:] is live: sorted, disjoint, before tail
+	head      int   // retired prefix length, compacted away periodically
+	watermark Time
+	busy      Time
+	uses      uint64
+}
+
+type gap struct{ start, end Time }
+
+// maxLiveGaps bounds the live gap calendar for servers without a bound
+// clock (or whose clock lags far behind): when exceeded, the oldest gap is
+// forgotten (no longer bookable), which only over-serializes the distant
+// past. A clock-bound server prunes exactly and in practice never hits it.
+const maxLiveGaps = 512
+
+// Bind attaches the pruning clock. The caller guarantees that no subsequent
+// Acquire arrives earlier than the clock's Now() at call time.
+func (s *Server) Bind(c Clock) { s.clock = c }
+
+// Prune retires gaps that closed at or before w; the watermark is monotone.
+// A gap straddling w stays bookable.
+func (s *Server) Prune(w Time) {
+	if w <= s.watermark {
+		return
+	}
+	s.watermark = w
+	for s.head < len(s.gaps) && s.gaps[s.head].end <= w {
+		s.head++
+	}
+	// Compact once the retired prefix dominates the slice, so the backing
+	// array stays proportional to the live calendar.
+	if s.head >= 32 && s.head*2 >= len(s.gaps) {
+		n := copy(s.gaps, s.gaps[s.head:])
+		s.gaps = s.gaps[:n]
+		s.head = 0
+	}
+}
+
+// prune runs Prune against the bound clock, if any.
+func (s *Server) prune() {
+	if s.clock != nil {
+		s.Prune(s.clock.Now())
+	}
+}
+
+// Acquire reserves the server for service picoseconds starting no earlier
+// than now, in the earliest idle window that fits. It returns the service
+// start and completion times. When a clock is bound, now must not precede
+// the clock's current time.
+func (s *Server) Acquire(now, service Time) (start, done Time) {
+	s.uses++
+	s.busy += service
+	if service == 0 {
+		return now, now
+	}
+	if now >= s.tail {
+		// Tail fast path: the arrival is past every booking. The idle
+		// stretch it skips over becomes a bookable gap.
+		if now > s.tail {
+			s.pushGap(s.tail, now)
+		}
+		s.tail = now + service
+		return now, s.tail
+	}
+	// Out-of-order arrival: take the earliest gap that fits, else queue
+	// behind the tail. Gaps closing at or before the arrival cannot host it
+	// (their remaining room ends before now+service); gap ends are sorted,
+	// so binary-search past them instead of scanning — which also skips any
+	// retired-but-uncompacted prefix, so no pruning is needed here.
+	lo, hi := s.head, len(s.gaps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.gaps[mid].end <= now {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i < len(s.gaps); i++ {
+		g := s.gaps[i]
+		start = now
+		if g.start > start {
+			start = g.start
+		}
+		if start+service > g.end {
+			continue
+		}
+		done = start + service
+		s.bookInGap(i, g, start, done)
+		return start, done
+	}
+	start = s.tail
+	s.tail += service
+	return start, s.tail
+}
+
+// pushGap records [from, to) as idle. Gaps are created in tail order, so
+// appending keeps the calendar sorted.
+func (s *Server) pushGap(from, to Time) {
+	if to <= s.watermark {
+		return // already unreachable
+	}
+	// Bound the live calendar for unbound (or badly lagging) clocks by
+	// forgetting the oldest idle window: an O(1) head advance, no copy.
+	if len(s.gaps)-s.head >= maxLiveGaps {
+		s.head++
+	}
+	if len(s.gaps) == cap(s.gaps) {
+		// About to grow: retire what the clock allows and compact when
+		// that halves the slice — otherwise let append grow it. Either way
+		// the work is O(1) amortized per push and memory stays
+		// O(maxLiveGaps).
+		s.prune()
+		if s.head*2 >= len(s.gaps) {
+			n := copy(s.gaps, s.gaps[s.head:])
+			s.gaps = s.gaps[:n]
+			s.head = 0
+		}
+	}
+	s.gaps = append(s.gaps, gap{start: from, end: to})
+}
+
+// bookInGap splits gaps[i] around the booking [start, done).
+func (s *Server) bookInGap(i int, g gap, start, done Time) {
+	left := gap{start: g.start, end: start}
+	right := gap{start: done, end: g.end}
+	hasL := left.end > left.start
+	hasR := right.end > right.start
+	switch {
+	case hasL && hasR:
+		// An interior booking nets one extra live gap; honor the same
+		// live bound as pushGap (dropping the oldest window) so unbound
+		// servers stay bounded under split-heavy patterns too. Skip when
+		// the oldest live gap is the one being split.
+		if len(s.gaps)-s.head >= maxLiveGaps && s.head < i {
+			s.head++
+		}
+		s.gaps = append(s.gaps, gap{})
+		copy(s.gaps[i+2:], s.gaps[i+1:])
+		s.gaps[i] = left
+		s.gaps[i+1] = right
+	case hasL:
+		s.gaps[i] = left
+	case hasR:
+		s.gaps[i] = right
+	default:
+		s.gaps = append(s.gaps[:i], s.gaps[i+1:]...)
+	}
+}
+
+// NextFree returns the end of the last booking — the earliest time a
+// request arriving after all current bookings could begin service.
+func (s *Server) NextFree() Time { return s.tail }
+
+// BusyTime returns the total time the server has been reserved. Pruning
+// does not affect it.
+func (s *Server) BusyTime() Time { return s.busy }
+
+// Uses returns the number of Acquire calls. Pruning does not affect it.
+func (s *Server) Uses() uint64 { return s.uses }
+
+// liveGaps returns the number of unretired idle windows (tests).
+func (s *Server) liveGaps() int { return len(s.gaps) - s.head }
+
+// Reset clears all reservation state, keeping the bound clock.
+func (s *Server) Reset() { *s = Server{clock: s.clock} }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -361,18 +362,160 @@ func TestResourceGapFilling(t *testing.T) {
 	}
 }
 
-// TestResourceCalendarBounded: the interval calendar cannot grow without
-// limit.
+// fakeClock is a settable Clock for pruning tests.
+type fakeClock struct{ now Time }
+
+func (c *fakeClock) Now() Time { return c.now }
+
+// TestResourceCalendarBoundedWithClock: a clock-bound resource retires past
+// bookings, so the live calendar stays O(outstanding window) even across
+// arbitrarily long runs.
 func TestResourceCalendarBounded(t *testing.T) {
 	var r Resource
+	clk := &fakeClock{}
+	r.Bind(clk)
 	for i := 0; i < 10000; i++ {
+		// The engine trails the arrival by a few bookings, as it does in
+		// real runs where chains compute a little ahead of dispatch time.
+		if i > 5 {
+			clk.now = Time((i - 5) * 100)
+		}
 		r.Acquire(Time(i*100), 1)
 	}
-	if len(r.intervals) > maxIntervals {
-		t.Fatalf("calendar grew to %d intervals", len(r.intervals))
+	// Pruning is amortized (every 64th Acquire consults the clock), so the
+	// live window is the trailing span plus at most one amortization period.
+	if live := r.live(); live > 128 {
+		t.Fatalf("live calendar grew to %d intervals", live)
+	}
+	if cap(r.intervals) > 1024 {
+		t.Fatalf("backing array grew to %d despite compaction", cap(r.intervals))
 	}
 	if r.Uses() != 10000 {
 		t.Fatalf("uses = %d", r.Uses())
+	}
+}
+
+// TestResourcePruneRetiresOnlyFullyPast: the watermark retires intervals
+// that end at or before it; an interval straddling the watermark survives.
+func TestResourcePruneRetiresOnlyFullyPast(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 10)   // [0,10) — fully past after Prune(50)
+	r.Acquire(40, 20)  // [40,60) — straddles watermark 50
+	r.Acquire(100, 10) // [100,110) — future
+	r.Prune(50)
+	if live := r.live(); live != 2 {
+		t.Fatalf("live = %d, want 2 (straddling interval must survive)", live)
+	}
+	// The straddling booking still delays a request arriving inside it.
+	start, _ := r.Acquire(50, 5)
+	if start != 60 {
+		t.Fatalf("request inside straddling interval started at %d, want 60", start)
+	}
+	// A monotone-violating (earlier) watermark is a no-op.
+	r.Prune(10)
+	if r.watermark != 50 {
+		t.Fatalf("watermark regressed to %d", r.watermark)
+	}
+}
+
+// TestResourceGapBookingAcrossWatermark: an idle gap that straddles the
+// watermark stays bookable for arrivals at or after the watermark.
+func TestResourceGapBookingAcrossWatermark(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 10)    // [0,10)
+	r.Acquire(1000, 10) // [1000,1010); gap [10,1000)
+	r.Prune(500)        // [0,10) retires; the gap now straddles the watermark
+	start, done := r.Acquire(500, 100)
+	if start != 500 || done != 600 {
+		t.Fatalf("gap booking across watermark = (%d,%d), want (500,600)", start, done)
+	}
+}
+
+// TestResourceCountersSurvivePruning: BusyTime and Uses are cumulative and
+// unaffected by calendar retirement.
+func TestResourceCountersSurvivePruning(t *testing.T) {
+	var r Resource
+	r.Acquire(0, 30)
+	r.Acquire(100, 70)
+	busy, uses := r.BusyTime(), r.Uses()
+	r.Prune(1000)
+	if r.live() != 0 {
+		t.Fatalf("live = %d, want 0", r.live())
+	}
+	if r.BusyTime() != busy || r.Uses() != uses {
+		t.Fatalf("counters changed by pruning: busy %d→%d uses %d→%d", busy, r.BusyTime(), uses, r.Uses())
+	}
+	if r.NextFree() != 1000 {
+		t.Fatalf("NextFree after full retirement = %d, want watermark 1000", r.NextFree())
+	}
+}
+
+// contentionSequence drives a randomized arrival pattern against several
+// calendar implementations at once: a pruned Resource, an unpruned
+// Resource (the oracle), and a clock-bound Server. The engine time trails
+// the arrival front the way real event dispatch does, and arrivals jitter
+// backward within the trailing window to exercise out-of-order gap booking
+// across the watermark boundary.
+func contentionSequence(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var oracle, pruned Resource
+	var srv Server
+	clk := &fakeClock{}
+	pruned.Bind(clk)
+	srv.Bind(clk)
+	var front Time // the farthest arrival seen; the clock trails it
+	for i := 0; i < 5000; i++ {
+		front += Time(rng.Intn(200))
+		// Arrivals land anywhere between the clock and the front (chains
+		// started at earlier events finish their bookings late).
+		span := front - clk.now
+		now := clk.now
+		if span > 0 {
+			now += Time(rng.Int63n(int64(span) + 1))
+		}
+		svc := Time(rng.Intn(100))
+		os, od := oracle.Acquire(now, svc)
+		ps, pd := pruned.Acquire(now, svc)
+		ss, sd := srv.Acquire(now, svc)
+		if os != ps || od != pd {
+			t.Fatalf("seed %d step %d: pruned (%d,%d) != oracle (%d,%d) for Acquire(%d,%d)",
+				seed, i, ps, pd, os, od, now, svc)
+		}
+		if os != ss || od != sd {
+			t.Fatalf("seed %d step %d: server (%d,%d) != oracle (%d,%d) for Acquire(%d,%d)",
+				seed, i, ss, sd, os, od, now, svc)
+		}
+		// Advance the clock to trail the front by a bounded window, as the
+		// engine's dispatch time trails in-flight chains.
+		if front > 500 && clk.now < front-500 {
+			clk.now = front - 500
+		}
+	}
+	if oracle.BusyTime() != pruned.BusyTime() || oracle.Uses() != pruned.Uses() {
+		t.Fatalf("seed %d: pruned counters diverged", seed)
+	}
+	if oracle.BusyTime() != srv.BusyTime() || oracle.Uses() != srv.Uses() {
+		t.Fatalf("seed %d: server counters diverged", seed)
+	}
+	// Retirement is amortized (pushes bound the list, splits ride between
+	// capacity events), so live state may exceed the nominal bound between
+	// prunes but stays O(maxLiveGaps).
+	if live := pruned.live(); live > 1024 {
+		t.Fatalf("seed %d: pruned calendar grew to %d live intervals", seed, live)
+	}
+	if gaps := srv.liveGaps(); gaps > 1024 {
+		t.Fatalf("seed %d: server gap calendar grew to %d", seed, gaps)
+	}
+}
+
+// TestContentionImplementationsAgree is the fuzz-style cross-check: pruning
+// must be invisible (watermark ≤ every future arrival ⇒ identical grants),
+// and the batched Server must be an exact re-representation of the interval
+// calendar.
+func TestContentionImplementationsAgree(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		contentionSequence(t, seed)
 	}
 }
 

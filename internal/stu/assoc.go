@@ -4,15 +4,16 @@ package stu
 // in its three organizations. Unlike the node TLB (package tlb) the value
 // type varies by organization, so this one is generic.
 type assoc[V any] struct {
-	sets   uint64
-	ways   int
-	keys   []uint64
-	vals   []V
-	valid  []bool
-	stamps []uint64
-	tick   uint64
-	hits   uint64
-	misses uint64
+	sets    uint64
+	setMask uint64 // sets-1 when sets is a power of two, else 0 (use modulo)
+	ways    int
+	keys    []uint64
+	vals    []V
+	valid   []bool
+	stamps  []uint64
+	tick    uint64
+	hits    uint64
+	misses  uint64
 }
 
 func newAssoc[V any](entries, ways int) *assoc[V] {
@@ -20,7 +21,7 @@ func newAssoc[V any](entries, ways int) *assoc[V] {
 		panic("stu: bad assoc geometry")
 	}
 	n := entries
-	return &assoc[V]{
+	a := &assoc[V]{
 		sets:   uint64(entries / ways),
 		ways:   ways,
 		keys:   make([]uint64, n),
@@ -28,9 +29,18 @@ func newAssoc[V any](entries, ways int) *assoc[V] {
 		valid:  make([]bool, n),
 		stamps: make([]uint64, n),
 	}
+	if a.sets&(a.sets-1) == 0 {
+		a.setMask = a.sets - 1
+	}
+	return a
 }
 
-func (a *assoc[V]) setBase(key uint64) uint64 { return (key % a.sets) * uint64(a.ways) }
+func (a *assoc[V]) setBase(key uint64) uint64 {
+	if a.setMask != 0 {
+		return (key & a.setMask) * uint64(a.ways)
+	}
+	return (key % a.sets) * uint64(a.ways)
+}
 
 func (a *assoc[V]) lookup(key uint64) (V, bool) {
 	base := a.setBase(key)

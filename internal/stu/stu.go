@@ -202,6 +202,10 @@ func New(cfg Config, nodeID uint16, layout addr.Layout, meta *acm.Store,
 // Stats returns a copy of the accumulated counters.
 func (s *STU) Stats() Stats { return s.stats }
 
+// Bind attaches the engine clock to the STU port so its reservation
+// calendar retires bookings entirely in the past (see sim.Clock).
+func (s *STU) Bind(c sim.Clock) { s.port.Bind(c) }
+
 // NodeID returns the node this STU guards.
 func (s *STU) NodeID() uint16 { return s.nodeID }
 

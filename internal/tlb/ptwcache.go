@@ -12,10 +12,12 @@ import "deact/internal/pagetable"
 // PTE page (512 mappings).
 type PTWCache struct {
 	// One fully associative LRU array shared by all levels, as in [8].
+	// Level-tagged keys always have a non-zero level in their low bits, so
+	// key 0 doubles as the empty marker and lookups are a single compare
+	// per entry.
 	entries int
-	keys    []uint64 // level-tagged keys
-	valid   []bool
-	stamps  []uint64
+	keys    []uint64 // level-tagged keys; 0 = empty
+	stamps  []uint64 // LRU stamps; 0 for empty entries
 	tick    uint64
 	hits    uint64
 	misses  uint64
@@ -29,35 +31,56 @@ func NewPTWCache(entries int) *PTWCache {
 	return &PTWCache{
 		entries: entries,
 		keys:    make([]uint64, entries),
-		valid:   make([]bool, entries),
 		stamps:  make([]uint64, entries),
 	}
 }
 
 // levelKey collapses a page-number key to the coverage granularity of a
 // level and tags it with the level so entries for different levels coexist.
+// The level tag is ≥ 1, so no valid entry encodes to 0.
 func levelKey(key uint64, level int) uint64 {
 	shift := uint(9 * (pagetable.Levels - level))
 	return (key>>shift)<<3 | uint64(level)
 }
 
 // BestStartLevel returns the deepest walk level the cache can skip to for
-// key (0 = no coverage, must start at the root).
+// key (0 = no coverage, must start at the root). One sweep checks all three
+// level keys; the deepest hit wins and is the only entry touched, exactly
+// as separate per-level scans would behave (keys are unique in the array).
 func (p *PTWCache) BestStartLevel(key uint64) int {
-	best := 0
 	p.tick++
-	for level := pagetable.Levels - 1; level >= 1; level-- {
-		lk := levelKey(key, level)
-		for i := 0; i < p.entries; i++ {
-			if p.valid[i] && p.keys[i] == lk {
-				p.stamps[i] = p.tick
-				p.hits++
-				return level
-			}
+	lk1 := levelKey(key, 1)
+	lk2 := levelKey(key, 2)
+	lk3 := levelKey(key, 3)
+	i1, i2, i3 := -1, -1, -1
+	for i := 0; i < p.entries; i++ {
+		switch p.keys[i] {
+		case lk3:
+			i3 = i
+		case lk2:
+			i2 = i
+		case lk1:
+			i1 = i
+		}
+		if i3 >= 0 {
+			break
 		}
 	}
-	p.misses++
-	return best
+	var idx, level int
+	switch {
+	case i3 >= 0:
+		idx, level = i3, 3
+	case i2 >= 0:
+		idx, level = i2, 2
+	case i1 >= 0:
+		idx, level = i1, 1
+	default:
+		p.misses++
+		return 0
+	}
+	p.stamps[idx] = p.tick
+	p.hits++
+	return level
 }
 
 // FillFromWalk records the intermediate nodes touched by a completed walk so
@@ -80,28 +103,24 @@ func (p *PTWCache) insert(lk uint64) {
 	victim := 0
 	victimStamp := ^uint64(0)
 	for i := 0; i < p.entries; i++ {
-		if p.valid[i] && p.keys[i] == lk {
+		if p.keys[i] == lk {
 			p.stamps[i] = p.tick
 			return
 		}
-		stamp := p.stamps[i]
-		if !p.valid[i] {
-			stamp = 0
-		}
-		if stamp < victimStamp {
-			victimStamp = stamp
+		if p.stamps[i] < victimStamp {
+			victimStamp = p.stamps[i]
 			victim = i
 		}
 	}
 	p.keys[victim] = lk
-	p.valid[victim] = true
 	p.stamps[victim] = p.tick
 }
 
 // Flush empties the cache.
 func (p *PTWCache) Flush() {
-	for i := range p.valid {
-		p.valid[i] = false
+	for i := range p.keys {
+		p.keys[i] = 0
+		p.stamps[i] = 0
 	}
 }
 

@@ -15,6 +15,7 @@ import "fmt"
 type TLB struct {
 	name    string
 	sets    uint64
+	setMask uint64 // sets-1; the set count is a power of two
 	ways    int
 	tags    []uint64
 	values  []uint64
@@ -38,13 +39,14 @@ func New(name string, entries, ways int) (*TLB, error) {
 	}
 	n := uint64(entries)
 	return &TLB{
-		name:   name,
-		sets:   sets,
-		ways:   ways,
-		tags:   make([]uint64, n),
-		values: make([]uint64, n),
-		valid:  make([]bool, n),
-		stamps: make([]uint64, n),
+		name:    name,
+		sets:    sets,
+		setMask: sets - 1,
+		ways:    ways,
+		tags:    make([]uint64, n),
+		values:  make([]uint64, n),
+		valid:   make([]bool, n),
+		stamps:  make([]uint64, n),
 	}, nil
 }
 
@@ -57,7 +59,7 @@ func MustNew(name string, entries, ways int) *TLB {
 	return t
 }
 
-func (t *TLB) setBase(key uint64) uint64 { return (key % t.sets) * uint64(t.ways) }
+func (t *TLB) setBase(key uint64) uint64 { return (key & t.setMask) * uint64(t.ways) }
 
 // Lookup searches for key, updating LRU state on hit.
 func (t *TLB) Lookup(key uint64) (value uint64, ok bool) {
