@@ -10,6 +10,7 @@
 package deact_test
 
 import (
+	"context"
 	"testing"
 
 	"deact/internal/acm"
@@ -27,7 +28,7 @@ import (
 
 // benchOptions keeps figure benchmarks affordable on one machine while
 // still running every benchmark and scheme the figure needs. Simulations
-// run concurrently on the harness worker pool (Parallelism 0 =
+// run concurrently on the Runner worker pool (Parallelism 0 =
 // GOMAXPROCS). Under -short (the CI smoke tier) the instruction budgets
 // and benchmark list shrink so `-bench=. -benchtime=1x -short` finishes in
 // seconds instead of paper-scale minutes.
@@ -79,7 +80,7 @@ func BenchmarkTableII(b *testing.B) {
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.TableIII()
+		t, err := h.TableIII(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func BenchmarkTableIII(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure3()
+		t, err := h.Figure3(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +102,7 @@ func BenchmarkFigure3(b *testing.B) {
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure4()
+		t, err := h.Figure4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFigure4(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure9()
+		t, err := h.Figure9(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkFigure10(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure10()
+		t, err := h.Figure10(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -134,7 +135,7 @@ func BenchmarkFigure10(b *testing.B) {
 func BenchmarkFigure11(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure11()
+		t, err := h.Figure11(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFigure11(b *testing.B) {
 func BenchmarkFigure12(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(benchOptions())
-		t, err := h.Figure12()
+		t, err := h.Figure12(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -156,7 +157,7 @@ func BenchmarkFigure12(b *testing.B) {
 func BenchmarkFigure13(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(sweepOptions())
-		t, err := h.Figure13()
+		t, err := h.Figure13(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +168,7 @@ func BenchmarkFigure13(b *testing.B) {
 func BenchmarkAssociativitySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(sweepOptions())
-		t, err := h.AssociativitySweep()
+		t, err := h.AssociativitySweep(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -178,7 +179,7 @@ func BenchmarkAssociativitySweep(b *testing.B) {
 func BenchmarkFigure14(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(sweepOptions())
-		t, err := h.Figure14()
+		t, err := h.Figure14(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -189,7 +190,7 @@ func BenchmarkFigure14(b *testing.B) {
 func BenchmarkPairsPerWaySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(sweepOptions())
-		t, err := h.PairsPerWaySweep()
+		t, err := h.PairsPerWaySweep(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func BenchmarkPairsPerWaySweep(b *testing.B) {
 func BenchmarkFigure15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h := experiments.New(sweepOptions())
-		t, err := h.Figure15()
+		t, err := h.Figure15(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func BenchmarkFigure16(b *testing.B) {
 			o.Warmup, o.Measure = 15_000, 15_000
 		}
 		h := experiments.New(o)
-		t, err := h.Figure16()
+		t, err := h.Figure16(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkEndToEnd(b *testing.B) {
 				cfg.CoresPerNode = 1
 				cfg.WarmupInstructions = 0
 				cfg.MeasureInstructions = measure
-				r, err := core.Run(cfg)
+				r, err := core.Run(context.Background(), cfg)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -11,29 +11,41 @@
 // Independent simulations run concurrently on a worker pool of
 // -parallelism slots (default: GOMAXPROCS). The report is byte-identical
 // at every parallelism level for a given seed and scale.
+//
+// Progress (completed/total distinct simulations) streams to stderr.
+// SIGINT/SIGTERM cancel the run gracefully: in-flight simulations abort at
+// the next event-loop stride, the process exits nonzero, and no partial
+// output file is written — the report is staged in memory and only lands
+// on disk after it generated completely.
 package main
 
 import (
-	"bufio"
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"deact/internal/experiments"
 	"deact/internal/profiling"
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "deact-report:", err)
 		os.Exit(1)
 	}
 }
 
-// run carries the whole report generation so defers (profile flush, file
-// close) execute on error paths too, instead of being skipped by os.Exit.
-func run() error {
+// run carries the whole report generation so defers (profile flush, signal
+// teardown) execute on error paths too, instead of being skipped by
+// os.Exit.
+func run(ctx context.Context) error {
 	var (
 		out     = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
 		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core")
@@ -57,29 +69,44 @@ func run() error {
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
+	opts.OnRunDone = progressPrinter(os.Stderr)
 
-	w := bufio.NewWriter(os.Stdout)
-	var f *os.File
-	if *out != "-" {
-		var err error
-		f, err = os.Create(*out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		w = bufio.NewWriter(f)
-	}
-	if err := experiments.Report(w, opts); err != nil {
+	if err := generate(ctx, opts, *out); err != nil {
 		return err
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	if f != nil {
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("wrote %s\n", *out)
 	}
 	return profiling.WriteHeap(*memProf)
+}
+
+// progressPrinter returns an OnRunDone hook that keeps one live
+// completed/total line on w. The runner serializes calls.
+func progressPrinter(w *os.File) func(experiments.RunInfo) {
+	return func(ri experiments.RunInfo) {
+		fmt.Fprintf(w, "\rruns: %d/%d completed", ri.Completed, ri.Submitted)
+		if ri.Completed == ri.Submitted {
+			fmt.Fprint(w, " ")
+		}
+	}
+}
+
+// generate stages the whole report in memory and writes the output file
+// only on success, so a cancelled or failed run never leaves a partial
+// EXPERIMENTS.md behind.
+func generate(ctx context.Context, opts experiments.Options, outPath string) error {
+	var buf bytes.Buffer
+	err := experiments.Report(ctx, &buf, opts)
+	if opts.OnRunDone != nil {
+		fmt.Fprintln(os.Stderr) // terminate the progress line
+	}
+	if err != nil {
+		return err
+	}
+	if outPath == "-" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	if err := os.WriteFile(outPath, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

@@ -7,10 +7,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"deact/internal/core"
 	"deact/internal/sim"
@@ -63,9 +66,14 @@ func main() {
 	cfg.STUEntries = *stuSize
 	cfg.FabricLatency = sim.NS(*fabricNS)
 
-	r, err := core.Run(cfg)
+	// SIGINT/SIGTERM cancel cooperatively: the event loop checks the
+	// context at a coarse simulated-time stride and the run exits nonzero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	r, err := core.Run(ctx, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deact-sim:", err)
+		stop()
 		os.Exit(1)
 	}
 	fmt.Println(r)

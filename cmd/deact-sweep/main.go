@@ -15,13 +15,18 @@
 // they run concurrently on a worker pool of -parallelism slots (default:
 // GOMAXPROCS). Output is identical at every parallelism level.
 // -cpuprofile/-memprofile profile the whole sweep, matching deact-report.
+// Progress streams to stderr; SIGINT/SIGTERM cancel the sweep gracefully
+// with a nonzero exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"deact/internal/experiments"
 	"deact/internal/profiling"
@@ -29,7 +34,9 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintln(os.Stderr, "deact-sweep:", err)
 		os.Exit(1)
 	}
@@ -37,7 +44,7 @@ func main() {
 
 // run carries the whole sweep so defers (profile flush) execute on error
 // paths too, instead of being skipped by os.Exit.
-func run() error {
+func run(ctx context.Context) error {
 	var (
 		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
 		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core")
@@ -70,28 +77,33 @@ func run() error {
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
-	h := experiments.New(opts)
+	opts.OnRunDone = func(ri experiments.RunInfo) {
+		fmt.Fprintf(os.Stderr, "\rruns: %d/%d completed", ri.Completed, ri.Submitted)
+	}
+	r := experiments.New(opts)
+	defer r.WaitIdle()
 
 	var tbl stats.Table
 	switch *sweep {
 	case "stu":
-		tbl, err = h.Figure13()
+		tbl, err = r.Figure13(ctx)
 	case "assoc":
-		tbl, err = h.AssociativitySweep()
+		tbl, err = r.AssociativitySweep(ctx)
 	case "acm":
-		tbl, err = h.Figure14()
+		tbl, err = r.Figure14(ctx)
 	case "pairs":
-		tbl, err = h.PairsPerWaySweep()
+		tbl, err = r.PairsPerWaySweep(ctx)
 	case "fabric":
-		tbl, err = h.Figure15()
+		tbl, err = r.Figure15(ctx)
 	case "nodes":
-		tbl, err = h.Figure16()
+		tbl, err = r.Figure16(ctx)
 	}
+	fmt.Fprintln(os.Stderr) // terminate the progress line
 	if err != nil {
 		return err
 	}
 	fmt.Print(tbl.Render())
-	fmt.Printf("(%d simulation runs)\n", h.CachedRuns())
+	fmt.Printf("(%d simulation runs)\n", r.CachedRuns())
 
 	return profiling.WriteHeap(*memProfile)
 }

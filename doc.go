@@ -6,15 +6,34 @@
 // simulator (sim, memdev, cache, tlb, pagetable, cpu, fabric), the FAM
 // system substrates the paper depends on (broker, acm, stu, translator,
 // node), the assembled system and its four virtual-memory schemes (core),
-// the synthetic Table III workload suite (workload), and the harness that
+// the synthetic Table III workload suite (workload), and the Runner that
 // regenerates every table and figure of the paper's evaluation
 // (experiments).
 //
-// The experiment harness schedules its hundreds of independent simulations
-// on a worker pool (experiments.Options.Parallelism; the cmds expose it as
-// -parallelism, default GOMAXPROCS) with singleflight deduplication, so
-// full-report regeneration scales with core count while staying
-// byte-identical to serial execution at the same seed.
+// Run orchestration is context-aware and identity-safe. core.Run(ctx, cfg)
+// simulates one fully-built core.Config and observes cancellation
+// cooperatively: the event loop runs in coarse simulated-time strides with
+// a ctx check between them, so a SIGINT aborts a multi-minute report run
+// in sub-second wall time without perturbing event order (results are
+// byte-identical to an uncancelled drain). Run identity is
+// core.Config.Fingerprint(): a canonical hash over every exported field
+// (reflection-walked, so new fields cannot be silently omitted) after
+// normalizing derived fields. experiments.Runner deduplicates on that
+// fingerprint alone — callers Submit(ctx, cfg) and get a Future, or batch
+// with RunAll(ctx, cfgs); identical configs share one simulation and
+// distinct configs can never alias one cache slot the way hand-written
+// string keys could. A deduplicated waiter that cancels unblocks with its
+// own ctx.Err() while the shared computation keeps running for the
+// remaining waiters; the last waiter detaching cancels it, and the worker
+// pool stops admitting cancelled work. Options.OnRunDone streams
+// completed/total progress (the cmds render it on stderr), and
+// Config.Validate reports wrapped core.ErrInvalidConfig sentinel errors.
+//
+// The Runner schedules its hundreds of independent simulations on a
+// worker pool (experiments.Options.Parallelism; the cmds expose it as
+// -parallelism, default GOMAXPROCS), so full-report regeneration scales
+// with core count while staying byte-identical to serial execution at the
+// same seed.
 //
 // The per-reference hot path is allocation-free in steady state: the sim
 // engine stores events by value in an indexed 4-ary heap and offers a
@@ -42,23 +61,28 @@
 //
 // Entry points:
 //
-//   - cmd/deact-sim     — run one benchmark under one scheme
+//   - cmd/deact-sim     — run one benchmark under one scheme (SIGINT
+//     cancels cooperatively)
 //   - cmd/deact-sweep   — run one sensitivity sweep (§V-D, -parallelism N,
-//     -cpuprofile/-memprofile)
+//     -cpuprofile/-memprofile, live progress on stderr)
 //   - cmd/deact-report  — regenerate EXPERIMENTS.md (all tables/figures,
-//     -parallelism N, -cpuprofile/-memprofile)
+//     -parallelism N, -cpuprofile/-memprofile, live progress; a cancelled
+//     run exits nonzero and writes no partial output)
 //   - cmd/benchgate     — CI benchmark-regression gate (median time/op and
 //     allocs/op budgets over `go test -bench` output)
-//   - examples/         — five runnable walkthroughs of the public API
+//   - examples/         — five runnable walkthroughs; quickstart tours the
+//     Runner API (Submit, futures, OnRunDone progress)
 //   - bench_test.go     — one testing.B benchmark per table and figure
 //     (-short selects the CI smoke scale)
 //
 // CI (.github/workflows/ci.yml) runs go build, go vet, staticcheck (SA
-// checks, pinned), a gofmt check, go test -race, a one-iteration -short
-// -benchmem benchmark smoke (uploaded as a build artifact), a
-// benchmark-regression gate that reruns BenchmarkEngine/BenchmarkCoreRun
-// on the PR base and fails on >20% median time/op or any allocs/op
-// growth (cmd/benchgate; benchstat renders the human-readable delta), and
-// a golden-report determinism job that diffs a short-scale
-// cmd/deact-report run against testdata/golden-report-short.md.
+// checks, pinned), a gofmt check, go test -race, an examples smoke run
+// (quickstart at tiny scale, so API drift in the walkthroughs fails PRs),
+// a one-iteration -short -benchmem benchmark smoke (uploaded as a build
+// artifact), a benchmark-regression gate that reruns
+// BenchmarkEngine/BenchmarkCoreRun on the PR base and fails on >20%
+// median time/op or any allocs/op growth (cmd/benchgate; benchstat
+// renders the human-readable delta), and a golden-report determinism job
+// that diffs a short-scale cmd/deact-report run against
+// testdata/golden-report-short.md.
 package deact

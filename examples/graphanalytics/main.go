@@ -3,13 +3,19 @@
 // working sets — exactly the workloads whose address-translation traffic
 // explodes under I-FAM indirection (Figures 3 and 4) and that DeACT was
 // designed to rescue.
+//
+// The I-FAM/DeACT-N pair for every GAP benchmark is submitted to the
+// Runner as one batch, so the whole comparison overlaps on the worker
+// pool.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"deact/internal/core"
+	"deact/internal/experiments"
 	"deact/internal/workload"
 )
 
@@ -19,22 +25,27 @@ func main() {
 	fmt.Printf("%-6s  %6s  %12s  %12s  %14s  %12s\n",
 		"bench", "MPKI", "I-FAM AT%", "DeACT AT%", "DeACT speedup", "blocked ops")
 
-	for _, bench := range workload.Suites()["GAP"] {
-		run := func(scheme core.Scheme) core.Result {
+	// Scale lives on the configs below; Options only tunes the pool here.
+	gap := workload.Suites()["GAP"]
+	runner := experiments.New(experiments.Options{})
+	var cfgs []core.Config
+	for _, bench := range gap {
+		for _, scheme := range []core.Scheme{core.IFAM, core.DeACTN} {
 			cfg := core.DefaultConfig()
 			cfg.Scheme = scheme
 			cfg.Benchmark = bench
 			cfg.CoresPerNode = 2
 			cfg.WarmupInstructions = 60_000
 			cfg.MeasureInstructions = 40_000
-			r, err := core.Run(cfg)
-			if err != nil {
-				log.Fatalf("%s under %v: %v", bench, scheme, err)
-			}
-			return r
+			cfgs = append(cfgs, cfg)
 		}
-		rI := run(core.IFAM)
-		rN := run(core.DeACTN)
+	}
+	res, err := runner.RunAll(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, bench := range gap {
+		rI, rN := res[2*i], res[2*i+1]
 		blockedPct := 0.0
 		if rN.MemOps > 0 {
 			// Pointer chases (dependent loads) cannot hide translation

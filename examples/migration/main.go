@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := sys.Run(); err != nil {
+	if _, err := sys.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	brk := sys.Broker()

@@ -4,14 +4,18 @@
 // progressively more expensive — and DeACT's advantage grows with scale.
 //
 // This example runs the dc benchmark on 1, 2, 4 and 8 nodes under I-FAM
-// and DeACT-N and prints the speedup curve.
+// and DeACT-N and prints the speedup curve. The whole grid goes to the
+// Runner as one RunAll batch, so the eight simulations overlap on the
+// worker pool instead of running back to back.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"deact/internal/core"
+	"deact/internal/experiments"
 )
 
 func main() {
@@ -20,8 +24,12 @@ func main() {
 	fmt.Printf("%5s  %12s  %12s  %14s  %16s\n",
 		"nodes", "I-FAM IPC", "DeACT IPC", "DeACT speedup", "fabric packets")
 
-	for _, nodes := range []int{1, 2, 4, 8} {
-		run := func(scheme core.Scheme) core.Result {
+	// Scale lives on the configs below; Options only tunes the pool here.
+	counts := []int{1, 2, 4, 8}
+	runner := experiments.New(experiments.Options{})
+	var cfgs []core.Config
+	for _, nodes := range counts {
+		for _, scheme := range []core.Scheme{core.IFAM, core.DeACTN} {
 			cfg := core.DefaultConfig()
 			cfg.Scheme = scheme
 			cfg.Benchmark = bench
@@ -29,14 +37,15 @@ func main() {
 			cfg.CoresPerNode = 1
 			cfg.WarmupInstructions = 30_000
 			cfg.MeasureInstructions = 25_000
-			r, err := core.Run(cfg)
-			if err != nil {
-				log.Fatalf("%d nodes under %v: %v", nodes, scheme, err)
-			}
-			return r
+			cfgs = append(cfgs, cfg)
 		}
-		rI := run(core.IFAM)
-		rN := run(core.DeACTN)
+	}
+	res, err := runner.RunAll(context.Background(), cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, nodes := range counts {
+		rI, rN := res[2*i], res[2*i+1]
 		fmt.Printf("%5d  %12.4f  %12.4f  %13.2fx  %16d\n",
 			nodes, rI.IPC, rN.IPC, rN.Speedup(rI), rI.FabricPackets)
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // benchRunConfig is the BenchmarkCoreRun scale: one core, no warmup, a
 // measured phase long enough that steady-state scheduling dominates system
@@ -16,16 +19,17 @@ func benchRunConfig(scheme Scheme) Config {
 }
 
 // BenchmarkCoreRun measures one full core.Run — the unit of work the
-// experiment harness schedules hundreds of times per report. allocs/op and
+// experiment Runner schedules hundreds of times per report. allocs/op and
 // ns/op here are the acceptance numbers for the allocation-free engine.
 func BenchmarkCoreRun(b *testing.B) {
 	for _, scheme := range []Scheme{IFAM, DeACTN} {
 		b.Run(scheme.String(), func(b *testing.B) {
 			cfg := benchRunConfig(scheme)
+			ctx := context.Background()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Run(cfg); err != nil {
+				if _, err := Run(ctx, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,7 +5,9 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"deact/internal/addr"
 	"deact/internal/cache"
@@ -162,25 +164,39 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate checks the configuration.
+// ErrInvalidConfig is wrapped by every Validate failure, so callers that
+// submit fully-built configs can distinguish a bad configuration from a
+// simulation failure with errors.Is.
+var ErrInvalidConfig = errors.New("core: invalid config")
+
+// Validate checks the configuration. It is a pure check on a value
+// receiver: derived fields (Hierarchy.Cores) are normalized where they are
+// consumed — nodeConfig and Fingerprint — not mutated here.
 func (c Config) Validate() error {
 	switch {
 	case c.Nodes <= 0:
-		return fmt.Errorf("core: Nodes must be positive")
+		return fmt.Errorf("%w: Nodes must be positive", ErrInvalidConfig)
 	case c.CoresPerNode <= 0:
-		return fmt.Errorf("core: CoresPerNode must be positive")
+		return fmt.Errorf("%w: CoresPerNode must be positive", ErrInvalidConfig)
 	case c.MeasureInstructions == 0:
-		return fmt.Errorf("core: MeasureInstructions must be positive")
+		return fmt.Errorf("%w: MeasureInstructions must be positive", ErrInvalidConfig)
+	case c.WarmupInstructions > math.MaxUint64-c.MeasureInstructions:
+		return fmt.Errorf("%w: WarmupInstructions+MeasureInstructions overflows uint64", ErrInvalidConfig)
+	case c.CycleTime == 0:
+		return fmt.Errorf("%w: CycleTime must be positive", ErrInvalidConfig)
+	case c.IssueWidth <= 0:
+		return fmt.Errorf("%w: IssueWidth must be positive", ErrInvalidConfig)
+	case c.MaxOutstanding <= 0:
+		return fmt.Errorf("%w: MaxOutstanding must be positive", ErrInvalidConfig)
 	case c.STUEntries <= 0 || c.STUWays <= 0:
-		return fmt.Errorf("core: STU geometry invalid")
+		return fmt.Errorf("%w: STU geometry invalid", ErrInvalidConfig)
 	}
 	if _, err := workload.Get(c.Benchmark); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	if err := c.Layout.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
-	c.Hierarchy.Cores = c.CoresPerNode
 	return nil
 }
 

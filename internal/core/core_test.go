@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -9,17 +10,17 @@ import (
 
 // TestRunDeterministicFixedSeed: two serial runs of an identical config
 // must produce bit-identical Results — the invariant every experiment
-// (and the parallel harness's dedup cache) rests on.
+// (and the Runner's fingerprint-keyed dedup cache) rests on.
 func TestRunDeterministicFixedSeed(t *testing.T) {
 	for _, scheme := range []Scheme{IFAM, DeACTN} {
 		cfg := quickConfig(scheme, "canl")
 		cfg.WarmupInstructions = 5_000
 		cfg.MeasureInstructions = 5_000
-		a, err := Run(cfg)
+		a, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
-		b, err := Run(cfg)
+		b, err := Run(context.Background(), cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -73,7 +74,7 @@ func TestSchemesList(t *testing.T) {
 
 func TestRunProducesSaneResult(t *testing.T) {
 	for _, scheme := range Schemes() {
-		r, err := Run(quickConfig(scheme, "mcf"))
+		r, err := Run(context.Background(), quickConfig(scheme, "mcf"))
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
 		}
@@ -99,11 +100,11 @@ func TestRunProducesSaneResult(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	r1, err := Run(quickConfig(DeACTN, "canl"))
+	r1, err := Run(context.Background(), quickConfig(DeACTN, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Run(quickConfig(DeACTN, "canl"))
+	r2, err := Run(context.Background(), quickConfig(DeACTN, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestDeterminism(t *testing.T) {
 func TestPaperOrdering(t *testing.T) {
 	ipc := map[Scheme]float64{}
 	for _, scheme := range Schemes() {
-		r, err := Run(quickConfig(scheme, "canl"))
+		r, err := Run(context.Background(), quickConfig(scheme, "canl"))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -144,11 +145,11 @@ func TestDeACTTranslationHitRateHigh(t *testing.T) {
 		c.WarmupInstructions = 100_000
 		return c
 	}
-	rI, err := Run(warm(IFAM))
+	rI, err := Run(context.Background(), warm(IFAM))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rD, err := Run(warm(DeACTN))
+	rD, err := Run(context.Background(), warm(DeACTN))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,11 +165,11 @@ func TestDeACTTranslationHitRateHigh(t *testing.T) {
 // TestDeACTNBeatsDeACTWOnACM verifies the Figure 9 mechanism under random
 // FAM placement.
 func TestDeACTNBeatsDeACTWOnACM(t *testing.T) {
-	rW, err := Run(quickConfig(DeACTW, "canl"))
+	rW, err := Run(context.Background(), quickConfig(DeACTW, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rN, err := Run(quickConfig(DeACTN, "canl"))
+	rN, err := Run(context.Background(), quickConfig(DeACTN, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestDeACTNBeatsDeACTWOnACM(t *testing.T) {
 // TestIFAMIncreasesATFraction verifies the Figure 4 effect: indirection
 // turns modest AT traffic into the dominant FAM request class.
 func TestIFAMIncreasesATFraction(t *testing.T) {
-	rE, err := Run(quickConfig(EFAM, "canl"))
+	rE, err := Run(context.Background(), quickConfig(EFAM, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rI, err := Run(quickConfig(IFAM, "canl"))
+	rI, err := Run(context.Background(), quickConfig(IFAM, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestIFAMIncreasesATFraction(t *testing.T) {
 
 // TestDeACTNReducesATRequests verifies the Figure 11 effect.
 func TestDeACTNReducesATRequests(t *testing.T) {
-	rI, err := Run(quickConfig(IFAM, "canl"))
+	rI, err := Run(context.Background(), quickConfig(IFAM, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rN, err := Run(quickConfig(DeACTN, "canl"))
+	rN, err := Run(context.Background(), quickConfig(DeACTN, "canl"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestMultiNodeRuns(t *testing.T) {
 	cfg.Nodes = 2
 	cfg.WarmupInstructions = 10_000
 	cfg.MeasureInstructions = 10_000
-	r, err := Run(cfg)
+	r, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +234,7 @@ func TestAllBenchmarksRunUnderDeACTN(t *testing.T) {
 		cfg := quickConfig(DeACTN, name)
 		cfg.WarmupInstructions = 5_000
 		cfg.MeasureInstructions = 10_000
-		if _, err := Run(cfg); err != nil {
+		if _, err := Run(context.Background(), cfg); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
@@ -241,12 +242,12 @@ func TestAllBenchmarksRunUnderDeACTN(t *testing.T) {
 
 func TestTrustReadsAtMostHelps(t *testing.T) {
 	cfg := quickConfig(DeACTN, "mcf")
-	base, err := Run(cfg)
+	base, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.TrustReads = true
-	trusted, err := Run(cfg)
+	trusted, err := Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

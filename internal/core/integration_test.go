@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestSystemMigrationEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(); err != nil {
+	if _, err := sys.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	brk := sys.Broker()
@@ -72,7 +73,7 @@ func TestLogicalIDMigrationAvoidsACMWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Run(); err != nil {
+	if _, err := sys.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	brk := sys.Broker()
@@ -103,7 +104,7 @@ func TestExhaustionSurfacesAsError(t *testing.T) {
 	cfg.Layout.FAMSize = 32 << 20
 	cfg.Layout.FAMZoneSize = 24 << 20
 	cfg.Layout.DRAMSize = 8 << 20
-	_, err := Run(cfg)
+	_, err := Run(context.Background(), cfg)
 	if err == nil {
 		t.Fatal("exhausted pool did not error")
 	}
@@ -134,7 +135,7 @@ func TestDenialAbortsDeterministically(t *testing.T) {
 	for i := uint64(0); i < 4096; i++ {
 		tr.Corrupt(base+addr.NPPage(i), victim)
 	}
-	_, err = sys.Run()
+	_, err = sys.Run(context.Background())
 	if err == nil {
 		t.Fatal("run completed despite forged translations to foreign data")
 	}

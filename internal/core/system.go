@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"deact/internal/broker"
@@ -136,9 +137,24 @@ func (s *System) snap() snapshot {
 	return sn
 }
 
-// runPhase drains the engine and verifies every core retired cleanly.
-func (s *System) runPhase() error {
-	s.engine.Run(0)
+// ctxStride is the simulated-time slice between cooperative-cancellation
+// checks while the engine drains. Coarse enough to be free (a run covers
+// thousands of strides' worth of events between wall-clock milliseconds),
+// fine enough that cancelling a multi-minute report run aborts the
+// in-flight simulations in well under a second of wall time.
+const ctxStride = 5 * sim.Microsecond
+
+// runPhase drains the engine and verifies every core retired cleanly. The
+// engine runs in ctxStride slices of simulated time with a cancellation
+// check between slices; slicing dispatches exactly the same events in the
+// same order as one uncancelled drain, so results stay byte-identical.
+func (s *System) runPhase(ctx context.Context) error {
+	for s.engine.Pending() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.engine.Run(s.engine.Now() + ctxStride)
+	}
 	for ni, row := range s.cores {
 		for ci, c := range row {
 			if err := c.Err(); err != nil {
@@ -153,8 +169,9 @@ func (s *System) runPhase() error {
 }
 
 // Run executes the warmup phase (if configured) and then the measured
-// phase, returning steady-state metrics.
-func (s *System) Run() (Result, error) {
+// phase, returning steady-state metrics. Cancelling ctx aborts the
+// simulation at the next stride boundary and returns ctx.Err().
+func (s *System) Run(ctx context.Context) (Result, error) {
 	// Phase 1: warmup. Cores are built with the total budget; we trim it
 	// to the warmup length, run, then extend for measurement.
 	warm := s.cfg.WarmupInstructions
@@ -169,7 +186,7 @@ func (s *System) Run() (Result, error) {
 				c.Start(s.engine)
 			}
 		}
-		if err := s.runPhase(); err != nil {
+		if err := s.runPhase(ctx); err != nil {
 			return Result{}, err
 		}
 	}
@@ -181,18 +198,19 @@ func (s *System) Run() (Result, error) {
 			c.Start(s.engine)
 		}
 	}
-	if err := s.runPhase(); err != nil {
+	if err := s.runPhase(ctx); err != nil {
 		return Result{}, err
 	}
 	after := s.snap()
 	return s.cfg.buildResult(before, after), nil
 }
 
-// Run builds and runs a system in one call.
-func Run(cfg Config) (Result, error) {
+// Run builds and runs a system in one call. ctx cancellation is observed
+// cooperatively inside the event loop (see System.Run).
+func Run(ctx context.Context, cfg Config) (Result, error) {
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run()
+	return s.Run(ctx)
 }

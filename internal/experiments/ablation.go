@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deact/internal/core"
@@ -13,20 +14,19 @@ import (
 // ablation runs DeACT-N with and without the optimization and reports the
 // speedup it buys per benchmark — an upper bound on what ACM caching is
 // worth for read traffic.
-func (h *Harness) ReadTrustAblation() (stats.Table, error) {
+func (r *Runner) ReadTrustAblation(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "§III-A ablation: DeACT-N with trusted reads (encrypted FAM) vs baseline",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 	}
-	benches := h.opts.benchmarks()
-	var reqs []runRequest
+	benches := r.opts.benchmarks()
+	var cfgs []core.Config
 	for _, b := range benches {
-		reqs = append(reqs,
-			defaultReq(core.DeACTN, b),
-			runRequest{scheme: core.DeACTN, bench: b, key: "trust-reads",
-				mutate: func(c *core.Config) { c.TrustReads = true }})
+		cfgs = append(cfgs,
+			r.config(core.DeACTN, b, nil),
+			r.config(core.DeACTN, b, func(c *core.Config) { c.TrustReads = true }))
 	}
-	pairs, err := h.runPaired(reqs)
+	pairs, err := r.runPaired(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -40,8 +40,8 @@ func (h *Harness) ReadTrustAblation() (stats.Table, error) {
 
 // checkReadTrustNeverHurts: skipping read verification can only remove
 // work, so the speedup must be ≥ ~1 everywhere.
-func checkReadTrustNeverHurts(h *Harness) (bool, string, error) {
-	tbl, err := h.ReadTrustAblation()
+func checkReadTrustNeverHurts(ctx context.Context, r *Runner) (bool, string, error) {
+	tbl, err := r.ReadTrustAblation(ctx)
 	if err != nil {
 		return false, "", err
 	}

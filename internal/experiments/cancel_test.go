@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"deact/internal/core"
+)
+
+// checkNoGoroutineLeak is a goleak-style guard without the external
+// dependency: the goroutine count must return to (near) the baseline once
+// the runner reports idle. Retries absorb runtime bookkeeping goroutines
+// that exit asynchronously.
+func checkNoGoroutineLeak(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= baseline {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d alive, baseline %d", n, baseline)
+}
+
+// slowConfig is a run big enough to still be in flight when the test
+// cancels it (uncancelled it would take many seconds).
+func slowConfig(r *Runner) core.Config {
+	return r.config(core.DeACTN, "canl", func(c *core.Config) {
+		c.MeasureInstructions = 5_000_000
+	})
+}
+
+// TestCancelMidRunReturnsPromptly: cancelling while the simulation drains
+// must unblock the waiter with context.Canceled, reclaim the worker slot,
+// and leave no goroutines behind.
+func TestCancelMidRunReturnsPromptly(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	r := New(schedOptions(1)) // one slot: a leaked slot would wedge the retry
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fut := r.Submit(ctx, slowConfig(r))
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := fut.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("waiter unblocked after %v, not promptly", elapsed)
+	}
+
+	// The in-flight simulation must abort and release its slot: a healthy
+	// run under a live context still goes through the single slot.
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(context.Background(), r.config(core.EFAM, "mcf", nil))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("pool unusable after cancellation: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run leaked its pool slot")
+	}
+
+	r.WaitIdle()
+	checkNoGoroutineLeak(t, baseline)
+}
+
+// TestCancelBeforeAdmission: runs queued behind a full pool must abort
+// without ever starting when their context dies, and the cancelled entry
+// must be evicted so a later submission under a live context retries it.
+func TestCancelBeforeAdmission(t *testing.T) {
+	r := New(schedOptions(1))
+	hogCtx, stopHog := context.WithCancel(context.Background())
+	defer stopHog()
+	hog := r.Submit(hogCtx, slowConfig(r)) // occupies the only slot
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedCfg := r.config(core.IFAM, "mcf", nil)
+	queued := r.Submit(ctx, queuedCfg)
+	cancel()
+	if _, err := queued.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued run: want context.Canceled, got %v", err)
+	}
+
+	stopHog()
+	if _, err := hog.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("hog: want context.Canceled, got %v", err)
+	}
+	r.WaitIdle()
+
+	// Both entries were evicted: a fresh submission must simulate.
+	if _, err := r.Run(context.Background(), queuedCfg); err != nil {
+		t.Fatalf("evicted entry did not retry: %v", err)
+	}
+	if done, _ := r.Progress(); done != 1 {
+		t.Fatalf("Progress completed = %d, want 1 (cancelled runs must not count)", done)
+	}
+}
+
+// TestResubmitAfterCancelledWaitGetsFreshRun: once a cancelled waiter's
+// Wait has returned, the entry is doomed under the same lock Submit
+// attaches under — an immediate resubmission with a live context (no
+// WaitIdle barrier) must land on a fresh entry and produce a real result,
+// never a spurious context.Canceled from the dying run.
+func TestResubmitAfterCancelledWaitGetsFreshRun(t *testing.T) {
+	r := New(schedOptions(2))
+	cfg := r.config(core.DeACTN, "canl", func(c *core.Config) {
+		c.MeasureInstructions = 20_000 // fast enough to resimulate below
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	fut := r.Submit(ctx, cfg)
+	cancel()
+	if _, err := fut.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// No WaitIdle: the doomed run may still be unwinding. A live-context
+	// waiter must not be able to attach to it.
+	quick := r.config(core.IFAM, "mcf", nil)
+	if _, err := r.Run(context.Background(), quick); err != nil {
+		t.Fatalf("fresh run after cancelled wait: %v", err)
+	}
+	res, err := r.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("resubmitted cancelled config: %v", err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("resubmission returned an empty result")
+	}
+	r.WaitIdle()
+}
+
+// TestSharedEntryDetachedFromSingleWaiter: one waiter cancelling must not
+// abort a computation another waiter still wants — the in-flight run is
+// detached from any single waiter's context.
+func TestSharedEntryDetachedFromSingleWaiter(t *testing.T) {
+	r := New(schedOptions(2))
+	cfg := r.config(core.DeACTN, "mcf", nil)
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	f1 := r.Submit(ctx1, cfg)
+	f2 := r.Submit(context.Background(), cfg) // deduplicated onto the same entry
+
+	cancel1()
+	if _, err := f1.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: want context.Canceled, got %v", err)
+	}
+	res, err := f2.Wait()
+	if err != nil {
+		t.Fatalf("surviving waiter failed: %v", err)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("surviving waiter got an empty result")
+	}
+}
+
+// TestReportCancelled: a report cancelled mid-flight returns promptly with
+// context.Canceled and drains its worker pool before returning.
+func TestReportCancelled(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	var buf bytes.Buffer
+	o := Options{Warmup: 500_000, Measure: 500_000, Cores: 1, Seed: 42,
+		Benchmarks: []string{"mcf", "canl", "dc"}, Parallelism: 2}
+	start := time.Now()
+	err := Report(ctx, &buf, o)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled report returned after %v", elapsed)
+	}
+	checkNoGoroutineLeak(t, baseline)
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deact/internal/core"
@@ -23,27 +24,27 @@ func partition(benchmarks []string) (sensitive, insensitive []string) {
 
 // meanMetric averages metric over benches under scheme, submitting all
 // runs as one batch.
-func (h *Harness) meanMetric(scheme core.Scheme, benches []string, metric func(core.Result) float64) (float64, error) {
-	var reqs []runRequest
+func (r *Runner) meanMetric(ctx context.Context, scheme core.Scheme, benches []string, metric func(core.Result) float64) (float64, error) {
+	var cfgs []core.Config
 	for _, b := range benches {
-		reqs = append(reqs, defaultReq(scheme, b))
+		cfgs = append(cfgs, r.config(scheme, b, nil))
 	}
-	res, err := h.runAll(reqs)
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return 0, err
 	}
 	var xs []float64
-	for _, r := range res {
-		xs = append(xs, metric(r))
+	for _, re := range res {
+		xs = append(xs, metric(re))
 	}
 	return stats.Mean(xs), nil
 }
 
 // checkFig3Ordering: sensitive benchmarks slow down more than insensitive.
-func checkFig3Ordering(h *Harness) (bool, string, error) {
-	sens, insens := partition(h.opts.benchmarks())
+func checkFig3Ordering(ctx context.Context, r *Runner) (bool, string, error) {
+	sens, insens := partition(r.opts.benchmarks())
 	slowdown := func(benches []string) (float64, error) {
-		pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, benches)
+		pairs, err := r.pairedDefaults(ctx, core.EFAM, core.IFAM, benches)
 		if err != nil {
 			return 0, err
 		}
@@ -65,11 +66,11 @@ func checkFig3Ordering(h *Harness) (bool, string, error) {
 }
 
 // checkFig4Blowup: I-FAM AT share > E-FAM AT share everywhere.
-func checkFig4Blowup(h *Harness) (bool, string, error) {
+func checkFig4Blowup(ctx context.Context, r *Runner) (bool, string, error) {
 	worstGap := 1.0
 	var worstBench string
-	benches := h.opts.benchmarks()
-	pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, benches)
+	benches := r.opts.benchmarks()
+	pairs, err := r.pairedDefaults(ctx, core.EFAM, core.IFAM, benches)
 	if err != nil {
 		return false, "", err
 	}
@@ -85,10 +86,10 @@ func checkFig4Blowup(h *Harness) (bool, string, error) {
 // checkFig9NBeatsW: DeACT-N ACM hit rate > DeACT-W on sensitive set, and
 // DeACT-W within a few points of I-FAM on average (the paper's observation
 // that W's extra contiguous coverage is wasted under random placement).
-func checkFig9NBeatsW(h *Harness) (bool, string, error) {
-	sens, _ := partition(h.opts.benchmarks())
+func checkFig9NBeatsW(ctx context.Context, r *Runner) (bool, string, error) {
+	sens, _ := partition(r.opts.benchmarks())
 	acm := func(s core.Scheme) (float64, error) {
-		return h.meanMetric(s, sens, func(r core.Result) float64 { return r.ACMHitRate })
+		return r.meanMetric(ctx, s, sens, func(res core.Result) float64 { return res.ACMHitRate })
 	}
 	n, err := acm(core.DeACTN)
 	if err != nil {
@@ -108,11 +109,11 @@ func checkFig9NBeatsW(h *Harness) (bool, string, error) {
 
 // checkFig10DeACTHigh: DeACT translation hit > I-FAM per benchmark, strictly
 // on the sensitive set where the STU cache thrashes.
-func checkFig10DeACTHigh(h *Harness) (bool, string, error) {
-	sens, _ := partition(h.opts.benchmarks())
+func checkFig10DeACTHigh(ctx context.Context, r *Runner) (bool, string, error) {
+	sens, _ := partition(r.opts.benchmarks())
 	worst := 1.0
 	var worstBench string
-	pairs, err := h.pairedDefaults(core.IFAM, core.DeACTN, sens)
+	pairs, err := r.pairedDefaults(ctx, core.IFAM, core.DeACTN, sens)
 	if err != nil {
 		return false, "", err
 	}
@@ -126,9 +127,9 @@ func checkFig10DeACTHigh(h *Harness) (bool, string, error) {
 }
 
 // checkFig11Monotone: mean AT share I-FAM > DeACT-W > DeACT-N.
-func checkFig11Monotone(h *Harness) (bool, string, error) {
+func checkFig11Monotone(ctx context.Context, r *Runner) (bool, string, error) {
 	at := func(s core.Scheme) (float64, error) {
-		return h.meanMetric(s, h.opts.benchmarks(), func(r core.Result) float64 { return r.ATFraction })
+		return r.meanMetric(ctx, s, r.opts.benchmarks(), func(res core.Result) float64 { return res.ATFraction })
 	}
 	i, err := at(core.IFAM)
 	if err != nil {
@@ -146,10 +147,10 @@ func checkFig11Monotone(h *Harness) (bool, string, error) {
 }
 
 // checkFig12Ordering: the headline performance ordering.
-func checkFig12Ordering(h *Harness) (bool, string, error) {
-	sens, _ := partition(h.opts.benchmarks())
+func checkFig12Ordering(ctx context.Context, r *Runner) (bool, string, error) {
+	sens, _ := partition(r.opts.benchmarks())
 	ipc := func(s core.Scheme) (float64, error) {
-		return h.meanMetric(s, sens, func(r core.Result) float64 { return r.IPC })
+		return r.meanMetric(ctx, s, sens, func(res core.Result) float64 { return res.IPC })
 	}
 	e, err := ipc(core.EFAM)
 	if err != nil {
@@ -172,30 +173,31 @@ func checkFig12Ordering(h *Harness) (bool, string, error) {
 }
 
 // checkFig13Shrinks: DeACT speedup at 256 STU entries > at 4096.
-func checkFig13Shrinks(h *Harness) (bool, string, error) {
-	return h.checkSweepMonotone("stu=256", func(c *core.Config) { c.STUEntries = 256 },
+func checkFig13Shrinks(ctx context.Context, r *Runner) (bool, string, error) {
+	return r.checkSweepMonotone(ctx, "stu=256", func(c *core.Config) { c.STUEntries = 256 },
 		"stu=4096", func(c *core.Config) { c.STUEntries = 4096 }, true)
 }
 
 // checkFig15Grows: speedup at 6µs fabric > at 100ns.
-func checkFig15Grows(h *Harness) (bool, string, error) {
-	return h.checkSweepMonotone("fab=6us", func(c *core.Config) { c.FabricLatency = 6_000_000 },
+func checkFig15Grows(ctx context.Context, r *Runner) (bool, string, error) {
+	return r.checkSweepMonotone(ctx, "fab=6us", func(c *core.Config) { c.FabricLatency = 6_000_000 },
 		"fab=100ns", func(c *core.Config) { c.FabricLatency = 100_000 }, true)
 }
 
 // checkSweepMonotone compares geomean DeACT-N speedup over I-FAM at two
-// sweep points across all sensitivity groups.
-func (h *Harness) checkSweepMonotone(keyHi string, mutHi func(*core.Config), keyLo string, mutLo func(*core.Config), wantHiBigger bool) (bool, string, error) {
+// sweep points across all sensitivity groups. The labels only name the
+// points in the detail string; run identity comes from the mutated configs.
+func (r *Runner) checkSweepMonotone(ctx context.Context, labelHi string, mutHi func(*core.Config), labelLo string, mutLo func(*core.Config), wantHiBigger bool) (bool, string, error) {
 	var his, los []float64
-	for _, g := range h.sensitivityGroups() {
+	for _, g := range r.sensitivityGroups() {
 		if len(g.members) == 0 {
 			continue
 		}
-		hi, err := h.speedupOverIFAM(g, core.DeACTN, keyHi, mutHi)
+		hi, err := r.speedupOverIFAM(ctx, g, core.DeACTN, mutHi)
 		if err != nil {
 			return false, "", err
 		}
-		lo, err := h.speedupOverIFAM(g, core.DeACTN, keyLo, mutLo)
+		lo, err := r.speedupOverIFAM(ctx, g, core.DeACTN, mutLo)
 		if err != nil {
 			return false, "", err
 		}
@@ -207,20 +209,20 @@ func (h *Harness) checkSweepMonotone(keyHi string, mutHi func(*core.Config), key
 	if !wantHiBigger {
 		ok = lo > hi
 	}
-	return ok, fmt.Sprintf("%s: %.2f× vs %s: %.2f×", keyHi, hi, keyLo, lo), nil
+	return ok, fmt.Sprintf("%s: %.2f× vs %s: %.2f×", labelHi, hi, labelLo, lo), nil
 }
 
 // checkPairsMonotone: 3 pairs ≥ 2 pairs ≥ 1 pair.
-func checkPairsMonotone(h *Harness) (bool, string, error) {
+func checkPairsMonotone(ctx context.Context, r *Runner) (bool, string, error) {
 	var v [3]float64
 	for pi, p := range []int{1, 2, 3} {
 		p := p
 		var xs []float64
-		for _, g := range h.sensitivityGroups() {
+		for _, g := range r.sensitivityGroups() {
 			if len(g.members) == 0 {
 				continue
 			}
-			x, err := h.speedupOverIFAM(g, core.DeACTN, fmt.Sprintf("pairs=%d", p), func(c *core.Config) {
+			x, err := r.speedupOverIFAM(ctx, g, core.DeACTN, func(c *core.Config) {
 				c.PairsPerWay = p
 				c.Layout.ACMBits = 8
 			})
@@ -235,15 +237,14 @@ func checkPairsMonotone(h *Harness) (bool, string, error) {
 }
 
 // checkFig16Grows: speedup at 8 nodes > at 1 node for dc.
-func checkFig16Grows(h *Harness) (bool, string, error) {
+func checkFig16Grows(ctx context.Context, r *Runner) (bool, string, error) {
 	speed := func(nodes int) (float64, error) {
-		key := fmt.Sprintf("nodes=%d", nodes)
 		mutate := func(c *core.Config) { c.Nodes = nodes }
-		rN, err := h.run(core.DeACTN, "dc", key, mutate)
+		rN, err := r.Run(ctx, r.config(core.DeACTN, "dc", mutate))
 		if err != nil {
 			return 0, err
 		}
-		rI, err := h.run(core.IFAM, "dc", key, mutate)
+		rI, err := r.Run(ctx, r.config(core.IFAM, "dc", mutate))
 		if err != nil {
 			return 0, err
 		}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -30,8 +31,8 @@ func TestTableIAndII(t *testing.T) {
 }
 
 func TestTableIII(t *testing.T) {
-	h := New(tinyOptions())
-	tbl, err := h.TableIII()
+	r := New(tinyOptions())
+	tbl, err := r.TableIII(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,8 +47,8 @@ func TestTableIII(t *testing.T) {
 }
 
 func TestFigure3SlowdownAboveOne(t *testing.T) {
-	h := New(tinyOptions())
-	tbl, err := h.Figure3()
+	r := New(tinyOptions())
+	tbl, err := r.Figure3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,11 +60,12 @@ func TestFigure3SlowdownAboveOne(t *testing.T) {
 }
 
 func TestFigure12OrderingOnSensitiveSet(t *testing.T) {
-	h := New(tinyOptions())
-	if _, err := h.Figure12(); err != nil {
+	ctx := context.Background()
+	r := New(tinyOptions())
+	if _, err := r.Figure12(ctx); err != nil {
 		t.Fatal(err)
 	}
-	ok, detail, err := checkFig12Ordering(h)
+	ok, detail, err := checkFig12Ordering(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,15 +75,16 @@ func TestFigure12OrderingOnSensitiveSet(t *testing.T) {
 }
 
 func TestFigure4And11Checks(t *testing.T) {
-	h := New(tinyOptions())
-	ok, detail, err := checkFig4Blowup(h)
+	ctx := context.Background()
+	r := New(tinyOptions())
+	ok, detail, err := checkFig4Blowup(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Fatalf("fig4: %s", detail)
 	}
-	ok, detail, err = checkFig11Monotone(h)
+	ok, detail, err = checkFig11Monotone(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,15 +94,16 @@ func TestFigure4And11Checks(t *testing.T) {
 }
 
 func TestFigure9And10Checks(t *testing.T) {
-	h := New(tinyOptions())
-	ok, detail, err := checkFig9NBeatsW(h)
+	ctx := context.Background()
+	r := New(tinyOptions())
+	ok, detail, err := checkFig9NBeatsW(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Fatalf("fig9: %s", detail)
 	}
-	ok, detail, err = checkFig10DeACTHigh(h)
+	ok, detail, err = checkFig10DeACTHigh(ctx, r)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,19 +112,20 @@ func TestFigure9And10Checks(t *testing.T) {
 	}
 }
 
-func TestHarnessCachesRuns(t *testing.T) {
-	h := New(tinyOptions())
-	if _, err := h.runDefault(core.EFAM, "mcf"); err != nil {
+func TestRunnerCachesRuns(t *testing.T) {
+	ctx := context.Background()
+	r := New(tinyOptions())
+	if _, err := r.Run(ctx, r.config(core.EFAM, "mcf", nil)); err != nil {
 		t.Fatal(err)
 	}
-	n := h.CachedRuns()
-	if _, err := h.runDefault(core.EFAM, "mcf"); err != nil {
+	n := r.CachedRuns()
+	if _, err := r.Run(ctx, r.config(core.EFAM, "mcf", nil)); err != nil {
 		t.Fatal(err)
 	}
-	if h.CachedRuns() != n {
+	if r.CachedRuns() != n {
 		t.Fatal("identical run not cached")
 	}
-	if h.Options().Seed != 42 {
+	if r.Options().Seed != 42 {
 		t.Fatal("options accessor wrong")
 	}
 }
@@ -131,8 +136,8 @@ func TestFigure16TwoSeries(t *testing.T) {
 	}
 	o := tinyOptions()
 	o.Warmup, o.Measure = 15_000, 15_000
-	h := New(o)
-	tbl, err := h.Figure16()
+	r := New(o)
+	tbl, err := r.Figure16(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +153,7 @@ func TestReportSmoke(t *testing.T) {
 	o := Options{Warmup: 10_000, Measure: 10_000, Cores: 1, Seed: 42,
 		Benchmarks: []string{"canl", "sp", "pf", "dc"}}
 	var buf bytes.Buffer
-	if err := Report(&buf, o); err != nil {
+	if err := Report(context.Background(), &buf, o); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

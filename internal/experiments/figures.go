@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deact/internal/core"
@@ -10,12 +11,12 @@ import (
 
 // Figure3 regenerates the motivation slowdown chart: I-FAM slowdown with
 // respect to E-FAM per benchmark (paper: up to 20.6× for sssp).
-func (h *Harness) Figure3() (stats.Table, error) {
+func (r *Runner) Figure3(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 3: Slowdown of I-FAM wrt E-FAM (×)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 	}
-	pairs, err := h.pairedDefaults(core.EFAM, core.IFAM, h.opts.benchmarks())
+	pairs, err := r.pairedDefaults(ctx, core.EFAM, core.IFAM, r.opts.benchmarks())
 	if err != nil {
 		return t, err
 	}
@@ -29,14 +30,14 @@ func (h *Harness) Figure3() (stats.Table, error) {
 
 // Figure4 regenerates the AT vs non-AT request breakdown at FAM for E-FAM
 // and I-FAM (paper: canl 44.36% → 84.13%, cactus 1.81% → 53.69%).
-func (h *Harness) Figure4() (stats.Table, error) {
+func (r *Runner) Figure4(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 4: Address-translation share of FAM requests (%)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 		Format:  "%.1f",
 	}
 	schemes := []core.Scheme{core.EFAM, core.IFAM}
-	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ATFraction * 100 })
+	rows, err := r.perBenchmarkSchemes(ctx, schemes, func(res core.Result) float64 { return res.ATFraction * 100 })
 	if err != nil {
 		return t, err
 	}
@@ -50,14 +51,14 @@ func (h *Harness) Figure4() (stats.Table, error) {
 
 // Figure9 regenerates the access-control-metadata hit-rate comparison
 // (paper: DeACT-N lifts canl/sssp/cactus from <60% toward 76–99%).
-func (h *Harness) Figure9() (stats.Table, error) {
+func (r *Runner) Figure9(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 9: Access control metadata hit rate (%)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 		Format:  "%.1f",
 	}
 	schemes := []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN}
-	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ACMHitRate * 100 })
+	rows, err := r.perBenchmarkSchemes(ctx, schemes, func(res core.Result) float64 { return res.ACMHitRate * 100 })
 	if err != nil {
 		return t, err
 	}
@@ -71,14 +72,14 @@ func (h *Harness) Figure9() (stats.Table, error) {
 
 // Figure10 regenerates the FAM address-translation hit-rate comparison
 // (paper: canl 46.44% in I-FAM vs 95.88% in DeACT).
-func (h *Harness) Figure10() (stats.Table, error) {
+func (r *Runner) Figure10(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 10: FAM address translation hit rate (%)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 		Format:  "%.1f",
 	}
 	schemes := []core.Scheme{core.IFAM, core.DeACTN}
-	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.TranslationHitRate * 100 })
+	rows, err := r.perBenchmarkSchemes(ctx, schemes, func(res core.Result) float64 { return res.TranslationHitRate * 100 })
 	if err != nil {
 		return t, err
 	}
@@ -96,14 +97,14 @@ func (h *Harness) Figure10() (stats.Table, error) {
 
 // Figure11 regenerates the percentage of AT requests at FAM for I-FAM,
 // DeACT-W and DeACT-N (paper: 23.97% → 11.82% → 1.77% on average).
-func (h *Harness) Figure11() (stats.Table, error) {
+func (r *Runner) Figure11(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 11: Address-translation share of FAM requests (%)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 		Format:  "%.1f",
 	}
 	schemes := []core.Scheme{core.IFAM, core.DeACTW, core.DeACTN}
-	rows, err := h.perBenchmarkSchemes(schemes, func(r core.Result) float64 { return r.ATFraction * 100 })
+	rows, err := r.perBenchmarkSchemes(ctx, schemes, func(res core.Result) float64 { return res.ATFraction * 100 })
 	if err != nil {
 		return t, err
 	}
@@ -119,24 +120,24 @@ func (h *Harness) Figure11() (stats.Table, error) {
 // performance normalized to E-FAM for all four schemes. The whole
 // scheme×benchmark grid is one batch; the E-FAM baseline deduplicates
 // against its row in the grid.
-func (h *Harness) Figure12() (stats.Table, error) {
+func (r *Runner) Figure12(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Figure 12: Performance normalized to E-FAM",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 	}
-	benches := h.opts.benchmarks()
+	benches := r.opts.benchmarks()
 	schemes := core.Schemes()
-	reqs := make([]runRequest, 0, len(benches)*len(schemes))
+	cfgs := make([]core.Config, 0, len(benches)*len(schemes))
 	baseRow := 0
 	for i, scheme := range schemes {
 		if scheme == core.EFAM {
 			baseRow = i
 		}
 		for _, b := range benches {
-			reqs = append(reqs, defaultReq(scheme, b))
+			cfgs = append(cfgs, r.config(scheme, b, nil))
 		}
 	}
-	res, err := h.runAll(reqs)
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -158,20 +159,20 @@ func (h *Harness) Figure12() (stats.Table, error) {
 // speedup over I-FAM at that point. Every (group, point, member) run —
 // DeACT-N and its I-FAM baseline — is submitted as one declarative batch,
 // so the entire sweep overlaps across groups and sweep points.
-func (h *Harness) sensitivitySweep(title string, labels []string, keys []string, mutates []func(*core.Config)) (stats.Table, error) {
+func (r *Runner) sensitivitySweep(ctx context.Context, title string, labels []string, mutates []func(*core.Config)) (stats.Table, error) {
 	t := stats.Table{Title: title, XLabels: labels}
-	groups := h.sensitivityGroups()
-	var reqs []runRequest
+	groups := r.sensitivityGroups()
+	var cfgs []core.Config
 	for _, g := range groups {
 		for i := range labels {
 			for _, b := range g.members {
-				reqs = append(reqs,
-					runRequest{scheme: core.DeACTN, bench: b, key: keys[i], mutate: mutates[i]},
-					runRequest{scheme: core.IFAM, bench: b, key: keys[i], mutate: mutates[i]})
+				cfgs = append(cfgs,
+					r.config(core.DeACTN, b, mutates[i]),
+					r.config(core.IFAM, b, mutates[i]))
 			}
 		}
 	}
-	res, err := h.runAll(reqs)
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -198,64 +199,60 @@ func (h *Harness) sensitivitySweep(title string, labels []string, keys []string,
 
 // Figure13 sweeps the STU cache size (256–4096 entries; paper: the DeACT
 // advantage shrinks as the STU grows).
-func (h *Harness) Figure13() (stats.Table, error) {
+func (r *Runner) Figure13(ctx context.Context) (stats.Table, error) {
 	sizes := []int{256, 512, 1024, 2048, 4096}
-	var labels, keys []string
+	var labels []string
 	var mutates []func(*core.Config)
 	for _, s := range sizes {
 		s := s
 		labels = append(labels, fmt.Sprintf("%d", s))
-		keys = append(keys, fmt.Sprintf("stu=%d", s))
 		mutates = append(mutates, func(c *core.Config) { c.STUEntries = s })
 	}
-	return h.sensitivitySweep("Figure 13: DeACT-N speedup wrt I-FAM vs STU cache entries", labels, keys, mutates)
+	return r.sensitivitySweep(ctx, "Figure 13: DeACT-N speedup wrt I-FAM vs STU cache entries", labels, mutates)
 }
 
 // AssociativitySweep reproduces the §V-D1 text experiment: STU cache
 // associativity 4 → 64 (paper: improvement decreases and saturates).
-func (h *Harness) AssociativitySweep() (stats.Table, error) {
+func (r *Runner) AssociativitySweep(ctx context.Context) (stats.Table, error) {
 	assocs := []int{4, 8, 32, 64}
-	var labels, keys []string
+	var labels []string
 	var mutates []func(*core.Config)
 	for _, a := range assocs {
 		a := a
 		labels = append(labels, fmt.Sprintf("%d-way", a))
-		keys = append(keys, fmt.Sprintf("assoc=%d", a))
 		mutates = append(mutates, func(c *core.Config) { c.STUWays = a })
 	}
-	return h.sensitivitySweep("§V-D1: DeACT-N speedup wrt I-FAM vs STU associativity", labels, keys, mutates)
+	return r.sensitivitySweep(ctx, "§V-D1: DeACT-N speedup wrt I-FAM vs STU associativity", labels, mutates)
 }
 
 // Figure14 sweeps the ACM width (8/16/32 bits) for DeACT-W and DeACT-N,
 // normalized to I-FAM at the same width. All groups, schemes and widths go
 // out as one batch.
-func (h *Harness) Figure14() (stats.Table, error) {
+func (r *Runner) Figure14(ctx context.Context) (stats.Table, error) {
 	widths := []uint{8, 16, 32}
 	var labels []string
-	var keys []string
 	var mutates []func(*core.Config)
 	for _, w := range widths {
 		w := w
 		labels = append(labels, fmt.Sprintf("%db", w))
-		keys = append(keys, fmt.Sprintf("acm=%d", w))
 		mutates = append(mutates, func(c *core.Config) { c.Layout.ACMBits = w })
 	}
 	t := stats.Table{Title: "Figure 14: speedup wrt I-FAM vs ACM size", XLabels: labels}
-	groups := h.sensitivityGroups()
+	groups := r.sensitivityGroups()
 	schemes := []core.Scheme{core.DeACTW, core.DeACTN}
-	var reqs []runRequest
+	var cfgs []core.Config
 	for _, g := range groups {
 		for _, scheme := range schemes {
 			for i := range widths {
 				for _, b := range g.members {
-					reqs = append(reqs,
-						runRequest{scheme: scheme, bench: b, key: keys[i], mutate: mutates[i]},
-						runRequest{scheme: core.IFAM, bench: b, key: keys[i], mutate: mutates[i]})
+					cfgs = append(cfgs,
+						r.config(scheme, b, mutates[i]),
+						r.config(core.IFAM, b, mutates[i]))
 				}
 			}
 		}
 	}
-	res, err := h.runAll(reqs)
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}
@@ -284,69 +281,65 @@ func (h *Harness) Figure14() (stats.Table, error) {
 
 // PairsPerWaySweep reproduces the §V-D2 experiment on how many (tag, ACM)
 // pairs a DeACT-N way holds (paper: 1 pair ≈ DeACT-W; more pairs → faster).
-func (h *Harness) PairsPerWaySweep() (stats.Table, error) {
+func (r *Runner) PairsPerWaySweep(ctx context.Context) (stats.Table, error) {
 	pairs := []int{1, 2, 3}
-	var labels, keys []string
+	var labels []string
 	var mutates []func(*core.Config)
 	for _, p := range pairs {
 		p := p
 		labels = append(labels, fmt.Sprintf("%d pair", p))
-		keys = append(keys, fmt.Sprintf("pairs=%d", p))
 		mutates = append(mutates, func(c *core.Config) {
 			c.PairsPerWay = p
 			c.Layout.ACMBits = 8 // the paper varies pairs at 8-bit ACM
 		})
 	}
-	return h.sensitivitySweep("§V-D2: DeACT-N speedup wrt I-FAM vs ACM pairs per way (8-bit ACM)", labels, keys, mutates)
+	return r.sensitivitySweep(ctx, "§V-D2: DeACT-N speedup wrt I-FAM vs ACM pairs per way (8-bit ACM)", labels, mutates)
 }
 
 // Figure15 sweeps the fabric latency 100ns–6µs (paper: longer fabric →
 // bigger DeACT advantage; 1.79× even at 100ns).
-func (h *Harness) Figure15() (stats.Table, error) {
+func (r *Runner) Figure15(ctx context.Context) (stats.Table, error) {
 	lats := []sim.Time{sim.NS(100), sim.NS(250), sim.NS(500), sim.NS(750), sim.US(1), sim.US(3), sim.US(6)}
-	var labels, keys []string
+	var labels []string
 	var mutates []func(*core.Config)
 	for _, l := range lats {
 		l := l
 		labels = append(labels, nsLabel(l))
-		keys = append(keys, "fab="+nsLabel(l))
 		mutates = append(mutates, func(c *core.Config) { c.FabricLatency = l })
 	}
-	return h.sensitivitySweep("Figure 15: DeACT-N speedup wrt I-FAM vs fabric latency", labels, keys, mutates)
+	return r.sensitivitySweep(ctx, "Figure 15: DeACT-N speedup wrt I-FAM vs fabric latency", labels, mutates)
 }
 
 // Figure16 sweeps the node count 1–8 for pf and dc (paper: more nodes
 // sharing the fabric → bigger DeACT advantage; dc 2.92× → 3.26×).
-func (h *Harness) Figure16() (stats.Table, error) {
+func (r *Runner) Figure16(ctx context.Context) (stats.Table, error) {
 	counts := []int{1, 2, 4, 8}
 	var labels []string
 	var mutates []func(*core.Config)
-	var keys []string
 	for _, n := range counts {
 		n := n
 		labels = append(labels, fmt.Sprintf("%d", n))
-		keys = append(keys, fmt.Sprintf("nodes=%d", n))
 		mutates = append(mutates, func(c *core.Config) { c.Nodes = n })
 	}
 	t := stats.Table{Title: "Figure 16: DeACT-N speedup wrt I-FAM vs number of nodes", XLabels: labels}
 	var benches []string
 	for _, bench := range []string{"pf", "dc"} {
-		for _, b := range h.opts.benchmarks() {
+		for _, b := range r.opts.benchmarks() {
 			if b == bench {
 				benches = append(benches, bench)
 				break
 			}
 		}
 	}
-	var reqs []runRequest
+	var cfgs []core.Config
 	for _, bench := range benches {
 		for i := range counts {
-			reqs = append(reqs,
-				runRequest{scheme: core.DeACTN, bench: bench, key: keys[i], mutate: mutates[i]},
-				runRequest{scheme: core.IFAM, bench: bench, key: keys[i], mutate: mutates[i]})
+			cfgs = append(cfgs,
+				r.config(core.DeACTN, bench, mutates[i]),
+				r.config(core.IFAM, bench, mutates[i]))
 		}
 	}
-	res, err := h.runAll(reqs)
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return t, err
 	}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"deact/internal/core"
+	"deact/internal/sim"
+)
+
+// TestPanickingRunDoesNotWedgePool: a panic inside a run must be converted
+// to an error, release its worker-pool slot, and unblock every
+// deduplicated waiter — not leave them parked on e.done forever.
+func TestPanickingRunDoesNotWedgePool(t *testing.T) {
+	ctx := context.Background()
+	r := New(schedOptions(1)) // one slot: a leaked slot would wedge everything
+
+	orig := coreRun
+	coreRun = func(ctx context.Context, cfg core.Config) (core.Result, error) {
+		if cfg.Benchmark == "canl" {
+			panic("simulation exploded")
+		}
+		return orig(ctx, cfg)
+	}
+	defer func() { coreRun = orig }()
+
+	boom := r.config(core.IFAM, "canl", nil)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := r.Run(ctx, boom)
+			done <- err
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("want panic error, got %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("panicking run wedged the pool (waiter blocked)")
+		}
+	}
+
+	// The slot must have been released: a healthy run still goes through.
+	if _, err := r.Run(ctx, r.config(core.EFAM, "mcf", nil)); err != nil {
+		t.Fatalf("pool unusable after panic: %v", err)
+	}
+}
+
+// TestNsLabelFractionalMicroseconds: non-integer microsecond latencies must
+// not truncate (the old %d cast rendered 1500ns as "1us").
+func TestNsLabelFractionalMicroseconds(t *testing.T) {
+	cases := []struct {
+		t    sim.Time
+		want string
+	}{
+		{sim.NS(500), "500ns"},
+		{sim.NS(999), "999ns"},
+		{sim.NS(1000), "1us"},
+		{sim.NS(1500), "1.5us"},
+		{sim.NS(2500), "2.5us"},
+		{sim.US(6), "6us"},
+		{sim.NS(1250), "1.25us"},
+		{2500, "2.5ns"}, // 2500ps
+	}
+	for _, c := range cases {
+		if got := nsLabel(c.t); got != c.want {
+			t.Errorf("nsLabel(%d) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+// TestOnRunDoneProgress: the hook must fire once per distinct simulation
+// with monotonically increasing completed counters bounded by submitted.
+func TestOnRunDoneProgress(t *testing.T) {
+	var infos []RunInfo
+	o := schedOptions(4)
+	o.OnRunDone = func(ri RunInfo) { infos = append(infos, ri) } // serialized by the runner
+	r := New(o)
+	batch := schedBatch(r)
+	if _, err := r.RunAll(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 6
+	if len(infos) != distinct {
+		t.Fatalf("hook fired %d times, want %d", len(infos), distinct)
+	}
+	seen := map[string]bool{}
+	for i, ri := range infos {
+		if ri.Completed != i+1 {
+			t.Fatalf("info %d: Completed = %d, want %d", i, ri.Completed, i+1)
+		}
+		if ri.Submitted < ri.Completed || ri.Submitted > distinct {
+			t.Fatalf("info %d: Submitted = %d out of range", i, ri.Submitted)
+		}
+		if ri.Err != nil {
+			t.Fatalf("info %d: unexpected error %v", i, ri.Err)
+		}
+		if ri.Fingerprint != ri.Config.Fingerprint() {
+			t.Fatalf("info %d: fingerprint mismatch", i)
+		}
+		if seen[ri.Fingerprint] {
+			t.Fatalf("info %d: duplicate hook for %s", i, ri.Fingerprint)
+		}
+		seen[ri.Fingerprint] = true
+	}
+	// Cache hits must not re-fire the hook.
+	if _, err := r.RunAll(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != distinct {
+		t.Fatalf("cache hits re-fired the hook: %d calls", len(infos))
+	}
+}

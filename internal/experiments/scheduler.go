@@ -1,44 +1,29 @@
 package experiments
 
 import (
-	"sync"
+	"context"
 
 	"deact/internal/core"
 )
 
-// runRequest declares one simulation: the scheme/benchmark pair plus the
-// mutation (identified by key) applied to the base config. Generators build
-// a batch of requests up front and submit it with runAll, so every
-// independent simulation a figure needs can overlap with the others.
-type runRequest struct {
-	scheme core.Scheme
-	bench  string
-	key    string
-	mutate func(*core.Config)
-}
-
-// defaultReq declares an unmutated (scheme, bench) run.
-func defaultReq(scheme core.Scheme, bench string) runRequest {
-	return runRequest{scheme: scheme, bench: bench, key: "default"}
-}
-
-// runAll executes every request through the worker pool and returns the
-// results in request order. Duplicate requests — within the batch or
-// against previously executed runs — share one simulation. The error
-// reported is the first failing request in submission order, so error
-// behaviour is deterministic regardless of execution interleaving.
-func (h *Harness) runAll(reqs []runRequest) ([]core.Result, error) {
-	results := make([]core.Result, len(reqs))
-	errs := make([]error, len(reqs))
-	var wg sync.WaitGroup
-	for i, rq := range reqs {
-		wg.Add(1)
-		go func(i int, rq runRequest) {
-			defer wg.Done()
-			results[i], errs[i] = h.run(rq.scheme, rq.bench, rq.key, rq.mutate)
-		}(i, rq)
+// RunAll submits every configuration and waits for the results in
+// submission order. Duplicate configurations — within the batch or against
+// previously executed runs — share one simulation (identity is
+// Config.Fingerprint()). The error reported is the first failing request
+// in submission order, so error behaviour is deterministic regardless of
+// execution interleaving. On cancellation every future is still waited
+// (and thereby detached), so the worker pool winds down instead of running
+// the rest of the batch in the background.
+func (r *Runner) RunAll(ctx context.Context, cfgs []core.Config) ([]core.Result, error) {
+	futs := make([]*Future, len(cfgs))
+	for i, cfg := range cfgs {
+		futs[i] = r.Submit(ctx, cfg)
 	}
-	wg.Wait()
+	results := make([]core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	for i, f := range futs {
+		results[i], errs[i] = f.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -47,11 +32,11 @@ func (h *Harness) runAll(reqs []runRequest) ([]core.Result, error) {
 	return results, nil
 }
 
-// runPaired executes an interleaved (a0, b0, a1, b1, …) batch through the
-// pool and returns the results as pairs — the shape every "scheme vs its
-// baseline" experiment consumes.
-func (h *Harness) runPaired(reqs []runRequest) ([][2]core.Result, error) {
-	res, err := h.runAll(reqs)
+// runPaired executes an interleaved (a0, b0, a1, b1, …) batch and returns
+// the results as pairs — the shape every "scheme vs its baseline"
+// experiment consumes.
+func (r *Runner) runPaired(ctx context.Context, cfgs []core.Config) ([][2]core.Result, error) {
+	res, err := r.RunAll(ctx, cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -64,25 +49,25 @@ func (h *Harness) runPaired(reqs []runRequest) ([][2]core.Result, error) {
 
 // pairedDefaults runs (a, b) defaults for every benchmark in one batch and
 // returns the result pairs in benchmark order.
-func (h *Harness) pairedDefaults(a, b core.Scheme, benches []string) ([][2]core.Result, error) {
-	var reqs []runRequest
+func (r *Runner) pairedDefaults(ctx context.Context, a, b core.Scheme, benches []string) ([][2]core.Result, error) {
+	var cfgs []core.Config
 	for _, bench := range benches {
-		reqs = append(reqs, defaultReq(a, bench), defaultReq(b, bench))
+		cfgs = append(cfgs, r.config(a, bench, nil), r.config(b, bench, nil))
 	}
-	return h.runPaired(reqs)
+	return r.runPaired(ctx, cfgs)
 }
 
 // prefetchDefaults warms the run cache with the full scheme×benchmark grid
 // of default-parameter simulations. Report calls it first so Table III and
 // Figures 3, 4, 9–12 — which all draw on these runs — assemble from cache
 // hits instead of each paying for its own subset serially.
-func (h *Harness) prefetchDefaults() error {
-	var reqs []runRequest
+func (r *Runner) prefetchDefaults(ctx context.Context) error {
+	var cfgs []core.Config
 	for _, s := range core.Schemes() {
-		for _, b := range h.opts.benchmarks() {
-			reqs = append(reqs, defaultReq(s, b))
+		for _, b := range r.opts.benchmarks() {
+			cfgs = append(cfgs, r.config(s, b, nil))
 		}
 	}
-	_, err := h.runAll(reqs)
+	_, err := r.RunAll(ctx, cfgs)
 	return err
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"strings"
 	"sync"
@@ -20,34 +21,35 @@ func schedOptions(parallelism int) Options {
 	}
 }
 
-// schedBatch is a request mix with deliberate duplicates (the Figure 3/12
-// sharing pattern) and a mutated configuration.
-func schedBatch() []runRequest {
+// schedBatch is a config mix with deliberate duplicates (the Figure 3/12
+// sharing pattern) and mutated configurations.
+func schedBatch(r *Runner) []core.Config {
 	stu512 := func(c *core.Config) { c.STUEntries = 512 }
-	return []runRequest{
-		defaultReq(core.EFAM, "mcf"),
-		defaultReq(core.IFAM, "mcf"),
-		defaultReq(core.EFAM, "mcf"), // duplicate of request 0
-		defaultReq(core.DeACTN, "canl"),
-		{scheme: core.DeACTN, bench: "canl", key: "stu=512", mutate: stu512},
-		{scheme: core.IFAM, bench: "canl", key: "stu=512", mutate: stu512},
-		defaultReq(core.DeACTN, "canl"), // duplicate of request 3
-		defaultReq(core.DeACTW, "dc"),
+	return []core.Config{
+		r.config(core.EFAM, "mcf", nil),
+		r.config(core.IFAM, "mcf", nil),
+		r.config(core.EFAM, "mcf", nil), // duplicate of request 0
+		r.config(core.DeACTN, "canl", nil),
+		r.config(core.DeACTN, "canl", stu512),
+		r.config(core.IFAM, "canl", stu512),
+		r.config(core.DeACTN, "canl", nil), // duplicate of request 3
+		r.config(core.DeACTW, "dc", nil),
 	}
 }
 
 // TestParallelMatchesSerial is the scheduler's core contract: a parallel
-// harness produces the same core.Result values, in the same order, and the
-// same CachedRuns() count as the serial (Parallelism = 1) harness.
+// runner produces the same core.Result values, in the same order, and the
+// same CachedRuns() count as the serial (Parallelism = 1) runner.
 func TestParallelMatchesSerial(t *testing.T) {
+	ctx := context.Background()
 	serial := New(schedOptions(1))
 	parallel := New(schedOptions(8))
 
-	rs, err := serial.runAll(schedBatch())
+	rs, err := serial.RunAll(ctx, schedBatch(serial))
 	if err != nil {
 		t.Fatal(err)
 	}
-	rp, err := parallel.runAll(schedBatch())
+	rp, err := parallel.RunAll(ctx, schedBatch(parallel))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,30 +61,34 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestRunAllDeduplicates: duplicate requests — both within one batch and
-// across batches — must simulate each distinct (scheme, bench, key)
-// exactly once.
+// TestRunAllDeduplicates: duplicate configurations — both within one batch
+// and across batches — must simulate each distinct fingerprint exactly
+// once.
 func TestRunAllDeduplicates(t *testing.T) {
-	h := New(schedOptions(4))
-	batch := schedBatch()
-	res, err := h.runAll(batch)
+	ctx := context.Background()
+	r := New(schedOptions(4))
+	batch := schedBatch(r)
+	res, err := r.RunAll(ctx, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
 	const distinct = 6 // 8 requests, 2 duplicates
-	if got := h.CachedRuns(); got != distinct {
+	if got := r.CachedRuns(); got != distinct {
 		t.Fatalf("CachedRuns = %d, want %d", got, distinct)
 	}
 	if !reflect.DeepEqual(res[0], res[2]) || !reflect.DeepEqual(res[3], res[6]) {
 		t.Fatal("duplicate requests returned different results")
 	}
+	if done, sub := r.Progress(); done != distinct || sub != distinct {
+		t.Fatalf("Progress = %d/%d, want %d/%d", done, sub, distinct, distinct)
+	}
 	// Resubmitting the whole batch must be pure cache hits.
-	res2, err := h.runAll(batch)
+	res2, err := r.RunAll(ctx, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if h.CachedRuns() != distinct {
-		t.Fatalf("resubmission grew CachedRuns to %d", h.CachedRuns())
+	if r.CachedRuns() != distinct {
+		t.Fatalf("resubmission grew CachedRuns to %d", r.CachedRuns())
 	}
 	if !reflect.DeepEqual(res, res2) {
 		t.Fatal("resubmitted batch returned different results")
@@ -90,35 +96,37 @@ func TestRunAllDeduplicates(t *testing.T) {
 }
 
 // TestRunAllErrorDeterministic: the reported error is the first failing
-// request in submission order, whatever the execution interleaving.
+// request in submission order, whatever the execution interleaving — and
+// invalid-config failures surface core.ErrInvalidConfig.
 func TestRunAllErrorDeterministic(t *testing.T) {
-	h := New(schedOptions(4))
+	r := New(schedOptions(4))
 	bad := func(c *core.Config) { c.CoresPerNode = -1 }
-	reqs := []runRequest{
-		defaultReq(core.EFAM, "mcf"),
-		{scheme: core.IFAM, bench: "mcf", key: "bad", mutate: bad},
-		{scheme: core.DeACTN, bench: "canl", key: "bad", mutate: bad},
+	cfgs := []core.Config{
+		r.config(core.EFAM, "mcf", nil),
+		r.config(core.IFAM, "mcf", bad),
+		r.config(core.DeACTN, "canl", bad),
 	}
-	_, err := h.runAll(reqs)
+	_, err := r.RunAll(context.Background(), cfgs)
 	if err == nil {
 		t.Fatal("expected an error from the invalid configs")
 	}
-	want := "experiments: mcf under I-FAM (bad)"
+	want := "experiments: mcf under I-FAM"
 	if !strings.HasPrefix(err.Error(), want) {
 		t.Fatalf("error is not the first failing request in order: %v", err)
 	}
 }
 
 // TestConcurrentGenerators drives two figure generators over one shared
-// harness from separate goroutines with Parallelism > 1 — the -race
+// runner from separate goroutines with Parallelism > 1 — the -race
 // exercise for the dedup map and worker pool.
 func TestConcurrentGenerators(t *testing.T) {
-	h := New(schedOptions(4))
+	ctx := context.Background()
+	r := New(schedOptions(4))
 	var wg sync.WaitGroup
 	errs := make([]error, 2)
 	wg.Add(2)
-	go func() { defer wg.Done(); _, errs[0] = h.Figure4() }()
-	go func() { defer wg.Done(); _, errs[1] = h.Figure11() }()
+	go func() { defer wg.Done(); _, errs[0] = r.Figure4(ctx) }()
+	go func() { defer wg.Done(); _, errs[1] = r.Figure11(ctx) }()
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
@@ -127,27 +135,28 @@ func TestConcurrentGenerators(t *testing.T) {
 	}
 	// Figures 4 and 11 share the I-FAM default runs: 4 wants E-FAM +
 	// I-FAM, 11 wants I-FAM + DeACT-W + DeACT-N → 4 schemes × 3 benches.
-	if got := h.CachedRuns(); got != 12 {
+	if got := r.CachedRuns(); got != 12 {
 		t.Fatalf("CachedRuns = %d, want 12 (shared runs must dedup)", got)
 	}
 }
 
 // TestReportByteIdenticalAcrossParallelism is the acceptance check for
 // cmd/deact-report: the full report must be byte-identical between the
-// serial harness and a maximally parallel one at the same seed.
+// serial runner and a maximally parallel one at the same seed.
 func TestReportByteIdenticalAcrossParallelism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full report is slow")
 	}
+	ctx := context.Background()
 	o := Options{Warmup: 8_000, Measure: 8_000, Cores: 1, Seed: 42,
 		Benchmarks: []string{"canl", "sp", "pf", "dc"}}
 	var serial, parallel bytes.Buffer
 	o.Parallelism = 1
-	if err := Report(&serial, o); err != nil {
+	if err := Report(ctx, &serial, o); err != nil {
 		t.Fatal(err)
 	}
 	o.Parallelism = 8
-	if err := Report(&parallel, o); err != nil {
+	if err := Report(ctx, &parallel, o); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,21 +47,21 @@ func TableII() string {
 // TableIII reports paper-reported vs measured MPKI per benchmark (the
 // workload-calibration check). Measured MPKI comes from an E-FAM run, the
 // configuration closest to the paper's selection environment.
-func (h *Harness) TableIII() (stats.Table, error) {
+func (r *Runner) TableIII(ctx context.Context) (stats.Table, error) {
 	t := stats.Table{
 		Title:   "Table III: Applications — paper MPKI vs measured (E-FAM, scaled system)",
-		XLabels: h.opts.benchmarks(),
+		XLabels: r.opts.benchmarks(),
 		Format:  "%.0f",
 	}
 	var paperVals []float64
-	for _, b := range h.opts.benchmarks() {
+	for _, b := range r.opts.benchmarks() {
 		p, err := workload.Get(b)
 		if err != nil {
 			return t, err
 		}
 		paperVals = append(paperVals, p.PaperMPKI)
 	}
-	measured, err := h.perBenchmark(core.EFAM, func(r core.Result) float64 { return r.MPKI })
+	measured, err := r.perBenchmark(ctx, core.EFAM, func(res core.Result) float64 { return res.MPKI })
 	if err != nil {
 		return t, err
 	}
