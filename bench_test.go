@@ -241,7 +241,10 @@ func BenchmarkSimEngine(b *testing.B) {
 	e.Run(0)
 }
 
-func BenchmarkCacheAccess(b *testing.B) {
+// BenchmarkCacheHierarchyAccess streams through the full three-level
+// hierarchy; the per-level hit/miss/eviction mixes live in
+// internal/cache's BenchmarkCacheAccess.
+func BenchmarkCacheHierarchyAccess(b *testing.B) {
 	h, err := cache.NewHierarchy(cache.HierarchyConfig{
 		Cores: 1, L1Size: 8 << 10, L1Ways: 8, L2Size: 64 << 10, L2Ways: 8,
 		L3Size: 256 << 10, L3Ways: 16,

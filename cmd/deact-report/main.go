@@ -48,8 +48,8 @@ func main() {
 func run(ctx context.Context) error {
 	var (
 		out     = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
-		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core")
-		measure = flag.Uint64("measure", 60_000, "measured instructions per core")
+		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core (instruction count, not cycles)")
+		measure = flag.Uint64("measure", 60_000, "measured instructions per core (instruction count, not cycles)")
 		cores   = flag.Int("cores", 2, "cores per node")
 		seed    = flag.Int64("seed", 42, "random seed")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")

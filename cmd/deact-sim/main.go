@@ -4,6 +4,13 @@
 // Usage:
 //
 //	deact-sim -scheme deact-n -bench canl -nodes 1 -cores 4
+//	deact-sim -scheme i-fam -bench mcf -fabric-ns 1000 -v
+//
+// Flag units: -warmup and -measure are instruction counts per core (not
+// cycles); -fabric-ns is one-way propagation latency in nanoseconds (not
+// cycles); -stu is a capacity in entries (not bytes). Everything not
+// exposed as a flag — cache geometry, device timings, ACM width — comes
+// from core.DefaultConfig, the paper's Table II system scaled ~16× down.
 package main
 
 import (
@@ -41,11 +48,11 @@ func main() {
 		bench      = flag.String("bench", "mcf", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
 		nodes      = flag.Int("nodes", 1, "compute nodes sharing the fabric")
 		cores      = flag.Int("cores", 4, "cores per node")
-		warmup     = flag.Uint64("warmup", 80_000, "warmup instructions per core")
-		measure    = flag.Uint64("measure", 60_000, "measured instructions per core")
-		seed       = flag.Int64("seed", 42, "random seed")
-		stuSize    = flag.Int("stu", 1024, "STU cache entries")
-		fabricNS   = flag.Uint64("fabric-ns", 500, "fabric one-way latency in nanoseconds")
+		warmup     = flag.Uint64("warmup", 80_000, "warmup instructions per core (instruction count, not cycles)")
+		measure    = flag.Uint64("measure", 60_000, "measured instructions per core (instruction count, not cycles)")
+		seed       = flag.Int64("seed", 42, "random seed (drives placement, workloads and replacement; fixed seed = byte-identical output)")
+		stuSize    = flag.Int("stu", 1024, "STU cache size in entries, not bytes (Figure 13 sweeps 256-8192)")
+		fabricNS   = flag.Uint64("fabric-ns", 500, "fabric one-way propagation latency in nanoseconds, not cycles (Figure 15 sweeps 100-6000)")
 		verbose    = flag.Bool("v", false, "print per-node counters")
 	)
 	flag.Parse()

@@ -17,6 +17,13 @@
 // -cpuprofile/-memprofile profile the whole sweep, matching deact-report.
 // Progress streams to stderr; SIGINT/SIGTERM cancel the sweep gracefully
 // with a nonzero exit.
+//
+// Flag units match deact-sim: -warmup/-measure are instruction counts per
+// core, not cycles. The defaults (60k/50k) are deliberately smaller than
+// deact-report's (80k/60k): a sweep multiplies every point across schemes
+// and benchmark groups, so it trades a little steady-state sharpness for
+// tractable wall time. Sweep *points* (sizes, latencies, widths) are fixed
+// by the corresponding figure and are not flags.
 package main
 
 import (
@@ -47,8 +54,8 @@ func main() {
 func run(ctx context.Context) error {
 	var (
 		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
-		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core")
-		measure    = flag.Uint64("measure", 50_000, "measured instructions per core")
+		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core (instruction count, not cycles; deliberately below deact-report's 80k)")
+		measure    = flag.Uint64("measure", 50_000, "measured instructions per core (instruction count, not cycles)")
 		cores      = flag.Int("cores", 2, "cores per node")
 		seed       = flag.Int64("seed", 42, "random seed")
 		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")

@@ -1,0 +1,194 @@
+// Command doccheck keeps the markdown documentation honest. For every
+// file named on the command line it:
+//
+//   - extracts each fenced ```go code block, writes it into a throwaway
+//     package directory under the module root (so deact/internal/...
+//     imports resolve), and runs `go vet` over all of them — a doc
+//     snippet that no longer builds against the current API fails the
+//     check instead of rotting silently;
+//   - verifies that every relative markdown link points at a file or
+//     directory that exists in the repository (external http(s)/mailto
+//     links and pure #anchors are skipped).
+//
+// Fenced blocks must be complete files (package clause and imports);
+// blocks that are deliberately illustrative fragments should use a
+// different info string (```text, or bare ```).
+//
+// Usage:
+//
+//	doccheck README.md ARCHITECTURE.md
+//
+// Exit status: 0 when all snippets vet clean and all links resolve,
+// 1 otherwise, 2 on usage errors. The CI docs job runs this over the
+// top-level markdown docs; TestRepoDocs runs the same check in `go test`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck file.md ...")
+		os.Exit(2)
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	if err := check(root, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(1)
+	}
+}
+
+// check runs the full document check: link resolution for every file,
+// then one `go vet` pass over all extracted snippets.
+func check(moduleRoot string, files []string, log *os.File) error {
+	type snippet struct {
+		origin string // "file.md snippet 2", for error messages
+		src    string
+	}
+	var snippets []snippet
+	bad := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		for _, e := range checkLinks(f, string(data)) {
+			fmt.Fprintln(log, "doccheck:", e)
+			bad++
+		}
+		for i, src := range extractGoSnippets(string(data)) {
+			snippets = append(snippets, snippet{origin: fmt.Sprintf("%s snippet %d", f, i+1), src: src})
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d broken link(s)", bad)
+	}
+	if len(snippets) == 0 {
+		return nil
+	}
+
+	// Snippets live under the module root so module-local imports
+	// resolve; each gets its own directory (they are independent main
+	// packages). The directory name must not start with "." or "_" —
+	// the go tool would silently skip it and vet nothing.
+	tmp, err := os.MkdirTemp(moduleRoot, "doccheck-snippets-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	for i, s := range snippets {
+		dir := filepath.Join(tmp, fmt.Sprintf("snippet%02d", i))
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			return err
+		}
+		header := fmt.Sprintf("// Extracted from %s by doccheck; do not edit.\n", s.origin)
+		if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(header+s.src), 0o644); err != nil {
+			return err
+		}
+	}
+	cmd := exec.Command("go", "vet", "./"+filepath.Base(tmp)+"/...")
+	cmd.Dir = moduleRoot
+	cmd.Stdout = log
+	cmd.Stderr = log
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("snippets failed go vet (origins are recorded in the header comment of each reported file): %w", err)
+	}
+	return nil
+}
+
+// extractGoSnippets returns the contents of every fenced ```go block.
+func extractGoSnippets(doc string) []string {
+	var out []string
+	var cur strings.Builder
+	in := false
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case !in && strings.HasPrefix(trimmed, "```go"):
+			in = true
+			cur.Reset()
+		case in && strings.HasPrefix(trimmed, "```"):
+			in = false
+			out = append(out, cur.String())
+		case in:
+			cur.WriteString(line)
+			cur.WriteString("\n")
+		}
+	}
+	return out
+}
+
+// linkRE matches inline markdown links [text](target). Reference-style
+// links are rare enough here not to bother with.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks returns one error per relative link in doc that does not
+// resolve to an existing file or directory. Targets are resolved
+// against the markdown file's own directory.
+func checkLinks(mdPath, doc string) []error {
+	var errs []error
+	// Fenced code blocks routinely contain )-adjacent syntax that the
+	// regex would misread; strip them first.
+	doc = stripFences(doc)
+	for _, m := range linkRE.FindAllStringSubmatch(doc, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+			continue
+		}
+		target, _, _ = strings.Cut(target, "#") // drop any fragment
+		if target == "" {
+			continue
+		}
+		p := filepath.Join(filepath.Dir(mdPath), target)
+		if _, err := os.Stat(p); err != nil {
+			errs = append(errs, fmt.Errorf("%s: broken link %q (%s does not exist)", mdPath, m[1], p))
+		}
+	}
+	return errs
+}
+
+// stripFences blanks out fenced code blocks, preserving line structure.
+func stripFences(doc string) string {
+	lines := strings.Split(doc, "\n")
+	in := false
+	for i, line := range lines {
+		fence := strings.HasPrefix(strings.TrimSpace(line), "```")
+		if fence {
+			in = !in
+			lines[i] = ""
+			continue
+		}
+		if in {
+			lines[i] = ""
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExtractGoSnippets(t *testing.T) {
+	doc := "prose\n```go\npackage main\n\nfunc main() {}\n```\nmore\n```text\nnot go\n```\n```go\npackage x\n```\n"
+	got := extractGoSnippets(doc)
+	if len(got) != 2 {
+		t.Fatalf("extracted %d snippets, want 2: %q", len(got), got)
+	}
+	if !strings.HasPrefix(got[0], "package main\n") || got[1] != "package x\n" {
+		t.Fatalf("wrong snippet contents: %q", got)
+	}
+}
+
+func TestExtractIgnoresUnterminatedFence(t *testing.T) {
+	if got := extractGoSnippets("```go\npackage main\n"); len(got) != 0 {
+		t.Fatalf("unterminated fence yielded %q", got)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "exists.md"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	doc := strings.Join([]string{
+		"[ok](exists.md)",
+		"[ok dir](sub/)",
+		"[ok fragment](exists.md#section)",
+		"[external](https://example.com/x)",
+		"[anchor](#local)",
+		"[broken](missing.md)",
+		"```",
+		"[inside fence](also-missing.md)",
+		"```",
+	}, "\n")
+	errs := checkLinks(filepath.Join(dir, "doc.md"), doc)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "missing.md") {
+		t.Fatalf("want exactly the missing.md error, got %v", errs)
+	}
+}
+
+// TestRepoDocs runs the full doccheck over the repository's real docs,
+// so `go test ./...` enforces what the CI docs job enforces: snippets
+// vet clean, relative links resolve.
+func TestRepoDocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet")
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"}
+	for i, d := range docs {
+		docs[i] = filepath.Join(root, d)
+	}
+	if err := check(root, docs, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,10 +40,25 @@
 // closure-free scheduling API (sim.Handler / Engine.ScheduleHandler) that
 // self-rescheduling components like cpu.Core implement directly; resource
 // calendars, page tables, ACM metadata and translation caches are all
-// array-backed. One core.Run simulates roughly 8× faster than the
-// pointer-heap/map-backed engine it replaced, with ~98% fewer allocations
-// (see CHANGES.md for the measured trajectory; BenchmarkEngine and
-// BenchmarkCoreRun are the guards).
+// array-backed. Cache replacement is exact LRU held in per-set rank words
+// (one uint64 of 4-bit way indices at assoc ≤ 16, property-tested
+// bit-identical to the per-way stamp fallback), so hit promotion and
+// victim selection are constant-width bit operations. One core.Run
+// simulates roughly 8× faster than the pointer-heap/map-backed engine it
+// replaced, with ~98% fewer allocations (see CHANGES.md for the measured
+// trajectory; BenchmarkEngine, BenchmarkCoreRun and BenchmarkCacheAccess
+// are the guards).
+//
+// Construction memory is recycled: core.SystemPool (backed by
+// internal/arena) hands the large zeroed arrays a System is built from —
+// ACM chunk slabs, the broker owner table, translator lines, cache line
+// arrays, page-table arenas, OS backing tables — from run to run,
+// clearing instead of reallocating. The experiments Runner keeps one pool
+// per worker slot, so a full report's hundreds of runs amortize
+// construction down to the structures a config actually resizes; recycled
+// runs are bit-identical to fresh ones (TestPooledRunMatchesUnpooled and
+// the golden-report job hold this). The package-level Example in
+// example_test.go is the compile-checked Runner tour.
 //
 // Contention is modeled by a batched calendar engine (package sim): each
 // memory-device bank, controller port and fabric link direction is a
@@ -70,6 +85,8 @@
 //     run exits nonzero and writes no partial output)
 //   - cmd/benchgate     — CI benchmark-regression gate (median time/op and
 //     allocs/op budgets over `go test -bench` output)
+//   - cmd/doccheck      — docs CI check (extracts fenced Go snippets from
+//     the markdown docs and vets them; verifies relative links)
 //   - examples/         — five runnable walkthroughs; quickstart tours the
 //     Runner API (Submit, futures, OnRunDone progress)
 //   - bench_test.go     — one testing.B benchmark per table and figure
@@ -78,11 +95,17 @@
 // CI (.github/workflows/ci.yml) runs go build, go vet, staticcheck (SA
 // checks, pinned), a gofmt check, go test -race, an examples smoke run
 // (quickstart at tiny scale, so API drift in the walkthroughs fails PRs),
-// a one-iteration -short -benchmem benchmark smoke (uploaded as a build
-// artifact), a benchmark-regression gate that reruns
+// a docs job (cmd/doccheck over README.md/ARCHITECTURE.md/ROADMAP.md/
+// CHANGES.md), a one-iteration -short -benchmem benchmark smoke (uploaded
+// as a build artifact), a benchmark-regression gate that reruns
 // BenchmarkEngine/BenchmarkCoreRun on the PR base and fails on >20%
 // median time/op or any allocs/op growth (cmd/benchgate; benchstat
 // renders the human-readable delta), and a golden-report determinism job
 // that diffs a short-scale cmd/deact-report run against
 // testdata/golden-report-short.md.
+//
+// README.md is the quickstart (the three cmds, the local smoke tier, the
+// golden-file regeneration recipe); ARCHITECTURE.md maps the paper's
+// pipeline onto the packages and walks the config → fingerprint → Runner
+// → System → engine → stats → report dataflow.
 package deact

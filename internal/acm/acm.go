@@ -10,12 +10,19 @@
 // the "mixed access permissions for nodes sharing a page" case (§III-A) is
 // enforceable. The timing is identical either way: one 64B bitmap-block
 // fetch.
+//
+// The per-page Check sits on the per-FAM-access hot path of every scheme:
+// entries live in dense per-1GB-region chunk slabs (no map on the lookup
+// path, no allocation after a chunk materializes), and the slabs recycle
+// through internal/arena across runs — zeroed on reuse, so a recycled
+// store is indistinguishable from a fresh one.
 package acm
 
 import (
 	"fmt"
 
 	"deact/internal/addr"
+	"deact/internal/arena"
 )
 
 // Perm is a permission set. The paper packs read/write/execute into two
@@ -116,16 +123,38 @@ type Store struct {
 	// shared[huge][node] = permission granted to node in the 1GB region.
 	shared map[uint64]map[uint16]Perm
 
+	// a recycles chunk slabs across runs; chunks materialize mid-run (on
+	// first metadata write into a region), so the store keeps the arena it
+	// was built in. nil allocates normally.
+	a *arena.Arena
+
 	writes uint64
 }
 
 // NewStore builds an empty metadata store for the pool described by layout.
 func NewStore(layout addr.Layout) *Store {
+	return NewStoreInArena(nil, layout)
+}
+
+// NewStoreInArena is NewStore drawing the per-region chunk slabs — at 1MB
+// per touched region, the single largest allocation a run makes — from a.
+// A nil arena allocates normally.
+func NewStoreInArena(a *arena.Arena, layout addr.Layout) *Store {
 	regions := (layout.FAMSize + addr.HugeSize - 1) / addr.HugeSize
 	return &Store{
 		layout: layout,
 		chunks: make([][]slot, regions),
 		shared: map[uint64]map[uint16]Perm{},
+		a:      a,
+	}
+}
+
+// Recycle returns the materialized chunk slabs to a for the next run's
+// construction. The store must not be used afterwards.
+func (s *Store) Recycle(a *arena.Arena) {
+	for i, c := range s.chunks {
+		arena.Release(a, "acm.chunk", c)
+		s.chunks[i] = nil
 	}
 }
 
@@ -141,7 +170,7 @@ func (s *Store) chunkFor(p addr.FPage, create bool) []slot {
 	}
 	c := s.chunks[idx]
 	if c == nil && create {
-		c = make([]slot, addr.PagesPerHuge)
+		c = arena.Slice[slot](s.a, "acm.chunk", addr.PagesPerHuge)
 		s.chunks[idx] = c
 	}
 	return c

@@ -1,0 +1,130 @@
+package arena
+
+import "testing"
+
+// sameBacking reports whether two slices share a backing array.
+func sameBacking(a, b []uint64) bool {
+	return cap(a) > 0 && cap(b) > 0 && &a[:cap(a)][cap(a)-1] == &b[:cap(b)][cap(b)-1]
+}
+
+func TestSliceReusesReleasedBuffer(t *testing.T) {
+	a := New()
+	first := Slice[uint64](a, "t", 100)
+	for i := range first {
+		first[i] = 7
+	}
+	Release(a, "t", first)
+	second := Slice[uint64](a, "t", 80)
+	if !sameBacking(first, second) {
+		t.Fatal("released buffer was not reused for a fitting request")
+	}
+	if len(second) != 80 {
+		t.Fatalf("len = %d, want 80", len(second))
+	}
+	for i, v := range second {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed at %d: %d", i, v)
+		}
+	}
+	// The buffer is out on loan: a second request must not alias it.
+	third := Slice[uint64](a, "t", 80)
+	if sameBacking(second, third) {
+		t.Fatal("one buffer handed out twice")
+	}
+}
+
+func TestSliceBestFit(t *testing.T) {
+	a := New()
+	small := Slice[uint64](a, "t", 10)
+	big := Slice[uint64](a, "t", 1000)
+	Release(a, "t", big)
+	Release(a, "t", small)
+	// A small request must take the small buffer, leaving the big one for
+	// the big request — otherwise repeated same-geometry runs reallocate.
+	gotSmall := Slice[uint64](a, "t", 10)
+	gotBig := Slice[uint64](a, "t", 1000)
+	if !sameBacking(gotSmall, small) || !sameBacking(gotBig, big) {
+		t.Fatal("best-fit matching failed")
+	}
+}
+
+func TestZeroLengthRequestTakesLargest(t *testing.T) {
+	a := New()
+	small := Slice[uint64](a, "t", 10)
+	big := Slice[uint64](a, "t", 1000)
+	Release(a, "t", small)
+	Release(a, "t", big)
+	// A grow-on-demand consumer (len 0, then Extend/append) must get the
+	// biggest capacity on offer, or it reallocates at its high-water mark
+	// every run.
+	got := Slice[uint64](a, "t", 0)
+	if len(got) != 0 || !sameBacking(got, big) {
+		t.Fatalf("len-0 request got cap %d, want the cap-%d buffer", cap(got), cap(big))
+	}
+}
+
+func TestNilArenaAllocates(t *testing.T) {
+	s := Slice[uint64](nil, "t", 5)
+	if len(s) != 5 {
+		t.Fatalf("len = %d", len(s))
+	}
+	Release(nil, "t", s) // must not panic
+}
+
+func TestTagsAndTypesAreIsolated(t *testing.T) {
+	a := New()
+	u := Slice[uint64](a, "u", 50)
+	Release(a, "u", u)
+	if got := Slice[uint64](a, "other", 50); sameBacking(u, got) {
+		t.Fatal("buffer crossed tags")
+	}
+	// Same tag, different element type: must allocate fresh, not panic.
+	b := Slice[uint32](a, "u", 10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d", len(b))
+	}
+}
+
+func TestReleaseBoundKeepsLargest(t *testing.T) {
+	a := New()
+	var largest []uint64
+	for i := 0; i < maxPerTag+5; i++ {
+		s := make([]uint64, 10+i)
+		if i == maxPerTag+4 {
+			largest = s
+		}
+		Release(a, "t", s)
+	}
+	if len(a.lists["t"]) != maxPerTag {
+		t.Fatalf("free list length %d, want %d", len(a.lists["t"]), maxPerTag)
+	}
+	if got := Slice[uint64](a, "t", 10+maxPerTag+4); !sameBacking(got, largest) {
+		t.Fatal("largest buffer was evicted")
+	}
+}
+
+func TestExtend(t *testing.T) {
+	s := make([]uint64, 4, 16)
+	s[3] = 9
+	// Poison the hidden capacity: Extend must zero what it exposes.
+	s[:16][10] = 42
+	grown := Extend(s, 12)
+	if len(grown) != 12 || &grown[0] != &s[0] {
+		t.Fatalf("in-place extend failed: len=%d", len(grown))
+	}
+	if grown[3] != 9 {
+		t.Fatal("live element clobbered")
+	}
+	for i := 4; i < 12; i++ {
+		if grown[i] != 0 {
+			t.Fatalf("exposed element %d not zeroed: %d", i, grown[i])
+		}
+	}
+	beyond := Extend(grown, 100)
+	if len(beyond) != 100 || beyond[3] != 9 {
+		t.Fatal("reallocating extend lost data")
+	}
+	if shrunk := Extend(beyond, 5); len(shrunk) != 100 {
+		t.Fatal("Extend shrank the slice")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"deact/internal/acm"
 	"deact/internal/addr"
+	"deact/internal/arena"
 	"deact/internal/pagetable"
 )
 
@@ -44,23 +45,32 @@ type Broker struct {
 	hugeNext  uint64                      // next 1GB region index for shared regions
 	randLimit uint64                      // pages >= randLimit belong to carved shared regions
 	allocated uint64
+
+	a *arena.Arena // recycles table arenas for NodeTable calls made mid-run
 }
 
 // New builds a broker for the pool described by layout, with deterministic
 // placement driven by seed.
 func New(layout addr.Layout, seed int64) (*Broker, error) {
+	return NewInArena(nil, layout, seed)
+}
+
+// NewInArena is New drawing the owner table, ACM chunk slabs and FAM
+// page-table arenas from a. A nil arena allocates normally.
+func NewInArena(a *arena.Arena, layout addr.Layout, seed int64) (*Broker, error) {
 	if err := layout.Validate(); err != nil {
 		return nil, err
 	}
 	usable := layout.UsableFAMPages()
 	b := &Broker{
 		layout:    layout,
-		meta:      acm.NewStore(layout),
+		meta:      acm.NewStoreInArena(a, layout),
 		rng:       rand.New(rand.NewSource(seed)),
 		freeCount: usable,
 		freeMods:  map[uint64]addr.FPage{},
-		owner:     make([]uint16, usable),
+		owner:     arena.Slice[uint16](a, "broker.owner", int(usable)),
 		nodeMaps:  map[uint16]*pagetable.Table{},
+		a:         a,
 	}
 	// Shared 1GB regions are carved from the top of the usable area,
 	// growing downward; the random-allocation pool keeps everything below
@@ -148,12 +158,25 @@ func (b *Broker) NodeTable(node uint16) (*pagetable.Table, error) {
 		b.owner[p] = node + 1
 		return uint64(p), nil
 	}
-	t, err := pagetable.New(fmt.Sprintf("fam-pt.%d", node), alloc)
+	t, err := pagetable.NewInArena(b.a, fmt.Sprintf("fam-pt.%d", node), alloc)
 	if err != nil {
 		return nil, err
 	}
 	b.nodeMaps[node] = t
 	return t, nil
+}
+
+// Recycle returns the broker's large tables — the owner table, the ACM
+// chunk slabs, every node's FAM page-table arena — to a for the next run's
+// construction. The broker (and the tables NodeTable handed out) must not
+// be used afterwards.
+func (b *Broker) Recycle(a *arena.Arena) {
+	arena.Release(a, "broker.owner", b.owner)
+	b.owner = nil
+	b.meta.Recycle(a)
+	for _, t := range b.nodeMaps {
+		t.Recycle(a)
+	}
 }
 
 // MapForNode allocates a FAM page for node and installs the system-level

@@ -8,10 +8,23 @@
 // blocks, itself needs system-level translation — a detail the paper's
 // I-FAM/DeACT comparison depends on).
 //
-// The line arrays are laid out struct-of-arrays (tags, LRU stamps and dirty
-// bits in separate dense slices) so the hit path scans only tags, and a
+// The line arrays are laid out struct-of-arrays (tags and dirty bits in
+// separate dense slices) so the hit path scans only tags, and a
 // direct-mapped way cache — one MRU way per set — resolves repeat accesses
 // to a set's most recent block with a single probe, no scan at all.
+//
+// Replacement is exact LRU. At associativity ≤ 16 each set's full recency
+// order lives in one uint64 rank word (a 4-bit way index per recency
+// position, MRU first), so hit promotion and victim selection are
+// constant-width bit operations on a single word instead of a scan over a
+// per-way stamp array. Wider caches fall back to per-way stamps. The two
+// representations choose bit-identical victims (the rank word is
+// property-tested against the stamp implementation), so simulation output
+// does not depend on which one a geometry selects.
+//
+// Invariants: accesses allocate nothing, and a cache's behaviour is a pure
+// deterministic function of its access history — both properties the
+// simulator's byte-identical-report guarantee rests on.
 package cache
 
 import (
@@ -19,6 +32,7 @@ import (
 	"math/bits"
 
 	"deact/internal/addr"
+	"deact/internal/arena"
 )
 
 // Victim describes a block evicted by an Access.
@@ -32,6 +46,10 @@ type Victim struct {
 // address space this simulator models.
 const invalidTag = ^uint64(0)
 
+// rankWays is the widest associativity whose recency order fits one rank
+// word: 16 ways × 4-bit way index.
+const rankWays = 16
+
 // Cache is one set-associative cache level.
 type Cache struct {
 	name     string
@@ -40,10 +58,18 @@ type Cache struct {
 	setMask  uint64   // sets-1 (set count is a power of two)
 	setShift uint     // log2(sets)
 	tags     []uint64 // sets × ways, row-major; invalidTag when empty
-	used     []uint64 // LRU stamps; 0 for empty ways (stamps start at 1)
 	dirty    []bool
 	mruWay   []uint16 // direct-mapped way cache: per set, the last way hit
-	tick     uint64
+
+	// order is the rank-word recency state (ways ≤ rankWays): one uint64
+	// per set listing way indices MRU-first, 4 bits per recency position;
+	// unused high nibbles hold 0xF. nil in stamp mode.
+	order []uint64
+	// used holds per-way LRU stamps (ways > rankWays); 0 for empty ways
+	// (stamps start at 1). nil in rank mode.
+	used []uint64
+	tick uint64
+
 	hits     uint64
 	misses   uint64
 	inserted uint64
@@ -53,6 +79,20 @@ type Cache struct {
 // associativity and 64B blocks. Size must be a power-of-two multiple of
 // ways*64 so that the set count is a power of two.
 func New(name string, sizeBytes uint64, ways int) (*Cache, error) {
+	return NewInArena(nil, name, sizeBytes, ways)
+}
+
+// NewInArena is New drawing the line arrays (tags, recency state, dirty
+// bits, way cache) from a, so a sweep's hundreds of systems recycle one
+// set of allocations. A nil arena allocates normally.
+func NewInArena(a *arena.Arena, name string, sizeBytes uint64, ways int) (*Cache, error) {
+	return newCache(a, name, sizeBytes, ways, false)
+}
+
+// newCache is the real constructor. forceStamps selects the stamp
+// representation even at rank-word-capable associativities — the
+// equivalence property test uses it to pit the two against each other.
+func newCache(a *arena.Arena, name string, sizeBytes uint64, ways int, forceStamps bool) (*Cache, error) {
 	if ways <= 0 || ways > 1<<16 {
 		return nil, fmt.Errorf("cache %s: ways %d out of range", name, ways)
 	}
@@ -67,13 +107,21 @@ func New(name string, sizeBytes uint64, ways int) (*Cache, error) {
 		sets:     sets,
 		setMask:  sets - 1,
 		setShift: uint(bits.TrailingZeros64(sets)),
-		tags:     make([]uint64, n),
-		used:     make([]uint64, n),
-		dirty:    make([]bool, n),
-		mruWay:   make([]uint16, sets),
+		tags:     arena.Slice[uint64](a, "cache.tags", int(n)),
+		dirty:    arena.Slice[bool](a, "cache.dirty", int(n)),
+		mruWay:   arena.Slice[uint16](a, "cache.mru", int(sets)),
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
+	}
+	if ways <= rankWays && !forceStamps {
+		c.order = arena.Slice[uint64](a, "cache.order", int(sets))
+		init := initOrderWord(ways)
+		for i := range c.order {
+			c.order[i] = init
+		}
+	} else {
+		c.used = arena.Slice[uint64](a, "cache.used", int(n))
 	}
 	return c, nil
 }
@@ -85,6 +133,61 @@ func MustNew(name string, sizeBytes uint64, ways int) *Cache {
 		panic(err)
 	}
 	return c
+}
+
+// recycle returns the cache's line arrays to a for the next run's
+// construction. The cache must not be used afterwards.
+func (c *Cache) recycle(a *arena.Arena) {
+	arena.Release(a, "cache.tags", c.tags)
+	arena.Release(a, "cache.dirty", c.dirty)
+	arena.Release(a, "cache.mru", c.mruWay)
+	arena.Release(a, "cache.order", c.order)
+	arena.Release(a, "cache.used", c.used)
+	c.tags, c.dirty, c.mruWay, c.order, c.used = nil, nil, nil, nil, nil
+}
+
+// Rank-word layout: nibble p of a set's order word holds the way index at
+// recency position p — position 0 is the MRU way, position ways-1 the LRU
+// way (the victim). Unused nibbles hold 0xF, a value no way index reaches
+// (way indices only go to 15 when all 16 nibbles are in use), so they are
+// inert under the SWAR search below.
+const (
+	nibLSB = 0x1111_1111_1111_1111
+	nibMSB = 0x8888_8888_8888_8888
+)
+
+// initOrderWord returns the order word of an empty set: way 0 at the LRU
+// position, way ways-1 at the MRU position, so empty ways fill in way
+// order — exactly the tie-break the stamp scan applies to all-zero stamps.
+func initOrderWord(ways int) uint64 {
+	word := ^uint64(0)
+	for p := 0; p < ways; p++ {
+		word &^= 0xF << (4 * uint(p))
+		word |= uint64(ways-1-p) << (4 * uint(p))
+	}
+	return word
+}
+
+// findPos returns the recency position of way w in word. Exactly one
+// nibble equals w (the word is a permutation over the used positions); the
+// zero-nibble SWAR can flag false positives only above a true zero, so the
+// lowest flagged nibble is always the match.
+func findPos(word, w uint64) uint {
+	t := word ^ (w * nibLSB)
+	z := (t - nibLSB) &^ t & nibMSB
+	return uint(bits.TrailingZeros64(z)) >> 2
+}
+
+// promote moves the way w sitting at position p to position 0 (MRU),
+// shifting positions 0..p-1 up by one. Positions above p — including the
+// 0xF filler nibbles — are untouched.
+func promote(word uint64, p uint, w uint64) uint64 {
+	if p == 0 {
+		return word
+	}
+	low := word & (uint64(1)<<(4*p) - 1)
+	keep := word &^ (uint64(1)<<(4*(p+1)) - 1) // p+1 == 16 shifts to 0, keeping nothing
+	return keep | low<<4 | w
 }
 
 func (c *Cache) index(a uint64) (set uint64, tag uint64) {
@@ -110,6 +213,59 @@ func (c *Cache) Probe(a uint64) bool {
 // the victim.
 func (c *Cache) Access(a uint64, write bool) (hit bool, victim Victim, evicted bool) {
 	set, tag := c.index(a)
+	if c.order != nil {
+		return c.accessRank(set, tag, write)
+	}
+	return c.accessStamp(set, tag, write)
+}
+
+// accessRank is the rank-word access path (ways ≤ rankWays).
+func (c *Cache) accessRank(set, tag uint64, write bool) (hit bool, victim Victim, evicted bool) {
+	base := set * uint64(c.ways)
+
+	// Way-cache probe: the MRU way is at rank position 0 by construction,
+	// so a repeat access to it needs no recency update at all.
+	if i := base + uint64(c.mruWay[set]); c.tags[i] == tag {
+		if write {
+			c.dirty[i] = true
+		}
+		c.hits++
+		return true, Victim{}, false
+	}
+	for w := 0; w < c.ways; w++ {
+		i := base + uint64(w)
+		if c.tags[i] == tag {
+			if write {
+				c.dirty[i] = true
+			}
+			word := c.order[set]
+			c.order[set] = promote(word, findPos(word, uint64(w)), uint64(w))
+			c.mruWay[set] = uint16(w)
+			c.hits++
+			return true, Victim{}, false
+		}
+	}
+
+	// Miss: the victim is the way at the LRU position — one nibble
+	// extraction where the stamp representation scans the whole set.
+	c.misses++
+	word := c.order[set]
+	vw := (word >> (4 * uint(c.ways-1))) & 0xF
+	lruIdx := base + vw
+	if c.tags[lruIdx] != invalidTag {
+		victim = Victim{Addr: c.reconstruct(lruIdx, c.tags[lruIdx]), Dirty: c.dirty[lruIdx]}
+		evicted = true
+	}
+	c.tags[lruIdx] = tag
+	c.dirty[lruIdx] = write
+	c.order[set] = promote(word, uint(c.ways-1), vw)
+	c.mruWay[set] = uint16(vw)
+	c.inserted++
+	return false, victim, evicted
+}
+
+// accessStamp is the per-way stamp access path (ways > rankWays).
+func (c *Cache) accessStamp(set, tag uint64, write bool) (hit bool, victim Victim, evicted bool) {
 	base := set * uint64(c.ways)
 	c.tick++
 
@@ -176,12 +332,41 @@ func (c *Cache) Invalidate(a uint64) (present, dirty bool) {
 		if c.tags[i] == tag {
 			present, dirty = true, c.dirty[i]
 			c.tags[i] = invalidTag
-			c.used[i] = 0
 			c.dirty[i] = false
+			if c.order != nil {
+				c.demote(set, base, w)
+			} else {
+				c.used[i] = 0
+			}
 			return present, dirty
 		}
 	}
 	return false, false
+}
+
+// demote re-files the just-invalidated way w among the set's empty ways.
+// The stamp scan picks empty ways lowest-index-first before any valid way,
+// so the order word keeps all empty ways in a tail block sorted by way
+// index: w lands below empties with smaller indices and above everything
+// else. c.tags[base+w] is already invalid when this runs.
+func (c *Cache) demote(set, base uint64, w int) {
+	word := c.order[set]
+	p := findPos(word, uint64(w))
+	q := uint(c.ways - 1)
+	for e := 0; e < w; e++ {
+		if c.tags[base+uint64(e)] == invalidTag {
+			q--
+		}
+	}
+	if p == q {
+		return
+	}
+	// Shift positions p+1..q down one place and park w at position q.
+	segMask := (uint64(1)<<(4*(q+1)) - 1) &^ (uint64(1)<<(4*(p+1)) - 1)
+	seg := (word & segMask) >> 4
+	high := word &^ (uint64(1)<<(4*(q+1)) - 1)
+	low := word & (uint64(1)<<(4*p) - 1)
+	c.order[set] = high | uint64(w)<<(4*q) | seg | low
 }
 
 // Hits returns the hit count.

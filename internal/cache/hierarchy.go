@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"deact/internal/arena"
+)
 
 // HitLevel identifies where in the hierarchy an access was served.
 type HitLevel int
@@ -52,16 +56,22 @@ type Hierarchy struct {
 
 // NewHierarchy builds the hierarchy.
 func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	return NewHierarchyInArena(nil, cfg)
+}
+
+// NewHierarchyInArena is NewHierarchy drawing every cache's line arrays
+// from a (nil allocates normally). Recycle returns them.
+func NewHierarchyInArena(a *arena.Arena, cfg HierarchyConfig) (*Hierarchy, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("cache: cores must be positive")
 	}
 	h := &Hierarchy{}
 	for i := 0; i < cfg.Cores; i++ {
-		l1, err := New(fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways)
+		l1, err := NewInArena(a, fmt.Sprintf("l1.%d", i), cfg.L1Size, cfg.L1Ways)
 		if err != nil {
 			return nil, err
 		}
-		l2, err := New(fmt.Sprintf("l2.%d", i), cfg.L2Size, cfg.L2Ways)
+		l2, err := NewInArena(a, fmt.Sprintf("l2.%d", i), cfg.L2Size, cfg.L2Ways)
 		if err != nil {
 			return nil, err
 		}
@@ -69,11 +79,21 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 		h.l2 = append(h.l2, l2)
 	}
 	var err error
-	h.l3, err = New("l3", cfg.L3Size, cfg.L3Ways)
+	h.l3, err = NewInArena(a, "l3", cfg.L3Size, cfg.L3Ways)
 	if err != nil {
 		return nil, err
 	}
 	return h, nil
+}
+
+// Recycle returns every cache's line arrays to a for the next run's
+// construction. The hierarchy must not be used afterwards.
+func (h *Hierarchy) Recycle(a *arena.Arena) {
+	for i := range h.l1 {
+		h.l1[i].recycle(a)
+		h.l2[i].recycle(a)
+	}
+	h.l3.recycle(a)
 }
 
 // Access performs a load or store by core on the physical block containing

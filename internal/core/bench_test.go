@@ -18,18 +18,23 @@ func benchRunConfig(scheme Scheme) Config {
 	return cfg
 }
 
-// BenchmarkCoreRun measures one full core.Run — the unit of work the
-// experiment Runner schedules hundreds of times per report. allocs/op and
-// ns/op here are the acceptance numbers for the allocation-free engine.
+// BenchmarkCoreRun measures one full pooled run — the unit of work the
+// experiment Runner schedules hundreds of times per report: each worker
+// slot holds a SystemPool, so construction memory recycles across
+// consecutive runs exactly as it does here. allocs/op and ns/op are the
+// acceptance numbers for the allocation-free engine plus arena reuse (the
+// first iteration populates the pool; steady state is what the counters
+// converge to).
 func BenchmarkCoreRun(b *testing.B) {
 	for _, scheme := range []Scheme{IFAM, DeACTN} {
 		b.Run(scheme.String(), func(b *testing.B) {
 			cfg := benchRunConfig(scheme)
 			ctx := context.Background()
+			pool := NewSystemPool()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := Run(ctx, cfg); err != nil {
+				if _, err := RunPooled(ctx, cfg, pool); err != nil {
 					b.Fatal(err)
 				}
 			}

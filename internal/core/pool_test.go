@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// poolTestConfig is a small-but-real run: big enough to materialize ACM
+// chunks, grow page tables and evict through all three cache levels.
+func poolTestConfig(scheme Scheme, bench string) Config {
+	cfg := DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.Benchmark = bench
+	cfg.CoresPerNode = 1
+	cfg.WarmupInstructions = 2000
+	cfg.MeasureInstructions = 4000
+	return cfg
+}
+
+// TestPooledRunMatchesUnpooled is the arena determinism gate: a run built
+// from recycled memory must be bit-identical to a fresh one, for every
+// scheme (each exercises a different subset of pooled structures), both on
+// the pool's first use and after the pool has been dirtied by runs of
+// *other* configurations.
+func TestPooledRunMatchesUnpooled(t *testing.T) {
+	ctx := context.Background()
+	pool := NewSystemPool()
+	for _, scheme := range Schemes() {
+		cfg := poolTestConfig(scheme, "mcf")
+		want, err := Run(ctx, cfg)
+		if err != nil {
+			t.Fatalf("%v unpooled: %v", scheme, err)
+		}
+		for round := 0; round < 3; round++ {
+			got, err := RunPooled(ctx, cfg, pool)
+			if err != nil {
+				t.Fatalf("%v pooled round %d: %v", scheme, round, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v pooled round %d diverged from unpooled:\n got %+v\nwant %+v", scheme, round, got, want)
+			}
+			// Dirty the pool with a different benchmark and geometry
+			// before the next round, so reuse crosses run shapes.
+			other := poolTestConfig(scheme, "sp")
+			other.STUEntries = 512
+			if _, err := RunPooled(ctx, other, pool); err != nil {
+				t.Fatalf("%v dirtying run: %v", scheme, err)
+			}
+		}
+	}
+}
+
+// TestNilPoolIsValid pins the documented "pooling off" mode.
+func TestNilPoolIsValid(t *testing.T) {
+	ctx := context.Background()
+	cfg := poolTestConfig(IFAM, "mcf")
+	if _, err := RunPooled(ctx, cfg, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystemPooled(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.Recycle(nil) // no-op, must not panic
+}

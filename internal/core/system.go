@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"deact/internal/arena"
 	"deact/internal/broker"
 	"deact/internal/cpu"
 	"deact/internal/fabric"
@@ -14,6 +15,35 @@ import (
 	"deact/internal/translator"
 	"deact/internal/workload"
 )
+
+// SystemPool recycles the large construction-time allocations of a System
+// — cache line arrays, page-table arenas, the broker's owner table, ACM
+// chunk slabs, translator lines, OS backing tables (~2.5MB zeroed per run)
+// — across the hundreds of runs of a sweep: build with NewSystemPooled,
+// run, then Recycle, and the next same-shaped system reuses the memory,
+// clearing instead of reallocating. Results are byte-identical to unpooled
+// runs (recycled buffers are zeroed on reuse; the golden-report CI job
+// holds this).
+//
+// A pool is not safe for concurrent use: give each concurrently running
+// simulation its own (the experiments Runner keeps one per worker slot).
+// A nil *SystemPool is valid everywhere and means "allocate normally".
+type SystemPool struct {
+	a *arena.Arena
+}
+
+// NewSystemPool returns an empty pool.
+func NewSystemPool() *SystemPool {
+	return &SystemPool{a: arena.New()}
+}
+
+// arenaOf unwraps the pool's arena, tolerating a nil pool.
+func (p *SystemPool) arenaOf() *arena.Arena {
+	if p == nil {
+		return nil
+	}
+	return p.a
+}
 
 // System is one fully assembled FAM system: a shared broker, fabric and
 // FAM pool, with Nodes compute nodes each running the configured benchmark
@@ -30,6 +60,13 @@ type System struct {
 
 // NewSystem builds a system from cfg.
 func NewSystem(cfg Config) (*System, error) {
+	return NewSystemPooled(cfg, nil)
+}
+
+// NewSystemPooled is NewSystem drawing the system's large backing arrays
+// from pool (nil allocates normally). After the system has run, Recycle
+// hands the memory back for the pool's next construction.
+func NewSystemPooled(cfg Config, pool *SystemPool) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -37,9 +74,10 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	a := pool.arenaOf()
 
 	s := &System{cfg: cfg, engine: sim.NewEngine()}
-	s.brk, err = broker.New(cfg.Layout, cfg.Seed)
+	s.brk, err = broker.NewInArena(a, cfg.Layout, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +87,7 @@ func NewSystem(cfg Config) (*System, error) {
 	total := cfg.WarmupInstructions + cfg.MeasureInstructions
 	for ni := 0; ni < cfg.Nodes; ni++ {
 		// Node IDs start at 1; the broker reserves 0 for itself.
-		n, err := node.New(cfg.nodeConfig(uint16(ni+1)), s.brk, s.fab, s.fam)
+		n, err := node.NewInArena(a, cfg.nodeConfig(uint16(ni+1)), s.brk, s.fab, s.fam)
 		if err != nil {
 			return nil, err
 		}
@@ -205,12 +243,41 @@ func (s *System) Run(ctx context.Context) (Result, error) {
 	return s.cfg.buildResult(before, after), nil
 }
 
+// Recycle returns the system's large backing arrays to pool for its next
+// construction. The system — including anything reached through it, such
+// as broker page tables — must not be used afterwards. A nil pool is a
+// no-op.
+func (s *System) Recycle(pool *SystemPool) {
+	a := pool.arenaOf()
+	if a == nil {
+		return
+	}
+	s.brk.Recycle(a)
+	for _, n := range s.nodes {
+		n.Recycle(a)
+	}
+}
+
 // Run builds and runs a system in one call. ctx cancellation is observed
 // cooperatively inside the event loop (see System.Run).
 func Run(ctx context.Context, cfg Config) (Result, error) {
-	s, err := NewSystem(cfg)
+	return RunPooled(ctx, cfg, nil)
+}
+
+// RunPooled is Run drawing construction memory from pool and recycling it
+// after the run — the unit of work the experiments Runner schedules, with
+// per-run allocation amortized away across a sweep. A nil pool behaves
+// exactly like Run.
+func RunPooled(ctx context.Context, cfg Config, pool *SystemPool) (Result, error) {
+	s, err := NewSystemPooled(cfg, pool)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(ctx)
+	res, err := s.Run(ctx)
+	// Recycle on the error path too (including cancellation): the system
+	// is discarded either way and nothing else references its arrays. A
+	// panicking run skips recycling — the pool stays consistent, it just
+	// forgets the in-flight buffers.
+	s.Recycle(pool)
+	return res, err
 }

@@ -5,6 +5,11 @@
 // window, and dependent (pointer-chase) references block — so serialized
 // translation latency hurts exactly the way it does in the paper, while
 // streaming misses are partially hidden.
+//
+// A Core is a self-rescheduling sim.Handler: its steady-state event chain
+// allocates nothing (the outstanding window is a fixed sorted ring), and
+// retirement order is a deterministic function of the generator stream
+// and the access latencies it observes.
 package cpu
 
 import (

@@ -3,6 +3,15 @@
 // simulator. Each experiment returns a stats.Table whose series mirror the
 // corresponding figure's bars or lines; cmd/deact-report renders them all
 // into EXPERIMENTS.md.
+//
+// The Runner is the only scheduler: callers submit fully-built
+// core.Config values, identity is Config.Fingerprint() alone, equal
+// configs share one simulation, and a worker pool runs distinct ones
+// concurrently — each slot holding a core.SystemPool that recycles
+// construction memory between the runs it executes. Invariant: report
+// output is byte-identical at every Parallelism setting for a fixed seed
+// (results are assembled in submission order, and each simulation is
+// deterministic given its config).
 package experiments
 
 import (
@@ -111,8 +120,12 @@ type runEntry struct {
 // pool of Options.Parallelism slots so independent runs overlap.
 type Runner struct {
 	opts Options
-	sem  chan struct{} // worker-pool slots: at most cap(sem) core.Run calls in flight
-	wg   sync.WaitGroup
+	// sem holds the worker-pool slots: at most cap(sem) simulations in
+	// flight. Each slot carries a core.SystemPool (created lazily, nil
+	// until first used), so consecutive runs on a slot recycle the same
+	// construction memory while concurrent runs never share a pool.
+	sem chan *core.SystemPool
+	wg  sync.WaitGroup
 
 	mu        sync.Mutex
 	runs      map[string]*runEntry
@@ -130,11 +143,16 @@ func New(opts Options) *Runner {
 	if opts.Measure == 0 {
 		opts.Measure = 60_000
 	}
-	return &Runner{
+	par := opts.parallelism()
+	r := &Runner{
 		opts: opts,
-		sem:  make(chan struct{}, opts.parallelism()),
+		sem:  make(chan *core.SystemPool, par),
 		runs: map[string]*runEntry{},
 	}
+	for i := 0; i < par; i++ {
+		r.sem <- nil // empty slot; its pool is created on first acquisition
+	}
+	return r
 }
 
 // Future is a handle to one submitted simulation. Wait blocks until the
@@ -236,13 +254,17 @@ func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result
 			err = fmt.Errorf("experiments: %s under %v: panic: %v", cfg.Benchmark, cfg.Scheme, p)
 		}
 	}()
+	var pool *core.SystemPool
 	select {
-	case r.sem <- struct{}{}: // acquire a worker slot
+	case pool = <-r.sem: // acquire a worker slot (and its memory pool)
 	case <-ectx.Done():
 		return core.Result{}, ectx.Err()
 	}
-	defer func() { <-r.sem }() // release the worker slot
-	res, err = coreRun(ectx, cfg)
+	if pool == nil {
+		pool = core.NewSystemPool()
+	}
+	defer func() { r.sem <- pool }() // release the worker slot
+	res, err = coreRun(ectx, cfg, pool)
 	if err != nil && !isCancellation(err) {
 		err = fmt.Errorf("experiments: %s under %v [cfg %s]: %w", cfg.Benchmark, cfg.Scheme, cfg.Fingerprint()[:8], err)
 	}
@@ -289,7 +311,7 @@ func (r *Runner) finish(e *runEntry, res core.Result, err error) {
 
 // coreRun is the simulation entry point; a variable so tests can inject
 // panics and delays behind the Submit/Wait API.
-var coreRun = core.Run
+var coreRun = core.RunPooled
 
 // isCancellation reports whether err is a context cancellation rather than
 // a simulation failure.

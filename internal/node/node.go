@@ -7,6 +7,11 @@
 // The node implements the cpu.AccessFunc contract: every memory reference
 // is charged through TLB → node page table walk (on miss) → caches →
 // local DRAM or the scheme-specific FAM path.
+//
+// Invariants: Access allocates nothing in steady state (walk buffers and
+// writeback scratch are reused; the E-FAM backing table is a dense array),
+// every latency is charged through deterministic components, and the
+// node's large arrays recycle through internal/arena across runs.
 package node
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"deact/internal/acm"
 	"deact/internal/addr"
+	"deact/internal/arena"
 	"deact/internal/broker"
 	"deact/internal/cache"
 	"deact/internal/fabric"
@@ -153,6 +159,13 @@ type Node struct {
 
 // New builds a node attached to the shared broker, fabric and FAM device.
 func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device) (*Node, error) {
+	return NewInArena(nil, cfg, brk, fab, fam)
+}
+
+// NewInArena is New drawing the node's large construction-time arrays —
+// cache line arrays, the page-table arena, the translator's line array and
+// the OS direct-backing table — from a. A nil arena allocates normally.
+func NewInArena(a *arena.Arena, cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device) (*Node, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -165,10 +178,13 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 		fab:  fab,
 		fam:  fam,
 		dram: memdev.New(cfg.DRAM),
+		// Length 0: backWithFAM extends (zeroing) on demand, so a recycled
+		// buffer regrows to its previous high-water mark allocation-free.
+		direct: arena.Slice[addr.FPage](a, "node.direct", 0),
 	}
 
 	var err error
-	n.hier, err = cache.NewHierarchy(cfg.Hierarchy)
+	n.hier, err = cache.NewHierarchyInArena(a, cfg.Hierarchy)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +206,7 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 
 	// Node page table: kernel table pages follow the same 20/80 placement
 	// as data (the property that inflates I-FAM's nested walks).
-	n.pt, err = pagetable.New(fmt.Sprintf("node%d.pt", cfg.ID), func() (uint64, error) {
+	n.pt, err = pagetable.NewInArena(a, fmt.Sprintf("node%d.pt", cfg.ID), func() (uint64, error) {
 		p, err := n.osa.Alloc()
 		if err != nil {
 			return 0, err
@@ -221,12 +237,25 @@ func New(cfg Config, brk *broker.Broker, fab *fabric.Fabric, fam *memdev.Device)
 	if cfg.Scheme.UsesDeACT() {
 		tc := cfg.Translator
 		tc.CacheBase = addr.NPAddr(cfg.Layout.DRAMSize - tc.CacheBytes)
-		n.trans, err = translator.New(tc, n.dram, cfg.Seed+101)
+		n.trans, err = translator.NewInArena(a, tc, n.dram, cfg.Seed+101)
 		if err != nil {
 			return nil, err
 		}
 	}
 	return n, nil
+}
+
+// Recycle returns the node's large arrays to a for the next run's
+// construction (the broker's tables are recycled by the broker, not here).
+// The node must not be used afterwards.
+func (n *Node) Recycle(a *arena.Arena) {
+	n.hier.Recycle(a)
+	n.pt.Recycle(a)
+	if n.trans != nil {
+		n.trans.Recycle(a)
+	}
+	arena.Release(a, "node.direct", n.direct)
+	n.direct = nil
 }
 
 // famZoneIndex converts a FAM-zone NP page to its dense direct[] index.
@@ -241,7 +270,7 @@ func (n *Node) famZoneIndex(p addr.NPPage) uint64 {
 func (n *Node) backWithFAM(p addr.NPPage) error {
 	i := n.famZoneIndex(p)
 	if i >= uint64(len(n.direct)) {
-		n.direct = append(n.direct, make([]addr.FPage, i+1-uint64(len(n.direct)))...)
+		n.direct = arena.Extend(n.direct, int(i)+1)
 	}
 	if n.direct[i] != 0 {
 		return nil

@@ -20,7 +20,11 @@
 // never scans, and a walk's per-level loads stay within one backing array.
 package pagetable
 
-import "fmt"
+import (
+	"fmt"
+
+	"deact/internal/arena"
+)
 
 // Levels is the number of radix levels (PGD, PUD, PMD, PTE in x86-64).
 const Levels = 4
@@ -66,14 +70,30 @@ type Table struct {
 
 // New creates an empty table whose nodes are placed by alloc.
 func New(name string, alloc PageAllocator) (*Table, error) {
+	return NewInArena(nil, name, alloc)
+}
+
+// NewInArena is New drawing the node arena from a, so a recycled table's
+// growth to its previous high-water mark allocates nothing. A nil arena
+// allocates normally.
+func NewInArena(a *arena.Arena, name string, alloc PageAllocator) (*Table, error) {
 	if alloc == nil {
 		return nil, fmt.Errorf("pagetable %s: nil allocator", name)
 	}
-	t := &Table{name: name, alloc: alloc, nodes: make([]tnode, 0, 8)}
+	// Length 0: appended nodes are written whole, so stale recycled
+	// contents are never observable.
+	t := &Table{name: name, alloc: alloc, nodes: arena.Slice[tnode](a, "pagetable.nodes", 0)}
 	if _, err := t.newNode(); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// Recycle returns the node arena to a for the next run's construction.
+// The table must not be used afterwards.
+func (t *Table) Recycle(a *arena.Arena) {
+	arena.Release(a, "pagetable.nodes", t.nodes)
+	t.nodes = nil
 }
 
 // newNode appends a fresh table node to the arena and returns its index.

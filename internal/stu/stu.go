@@ -13,6 +13,12 @@
 //   - DeACT-N: the way splits into sub-ways with truncated 44-bit tags,
 //     each an independent {FAM page tag, ACM} pair, doubling (or tripling,
 //     for narrow ACM) reach for randomly placed pages (Figure 8c).
+//
+// The STU sits on the per-FAM-access hot path of every scheme but E-FAM:
+// lookups, ACM checks and FAM-table walks are array-backed and
+// allocation-free in steady state, the port is a sim.Resource calendar
+// bound to the engine clock, and all behaviour is deterministic for a
+// fixed seed.
 package stu
 
 import (

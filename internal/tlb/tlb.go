@@ -6,6 +6,11 @@
 //
 // The same TLB and PTW-cache structures are reused by the STU for its
 // system-level translation cache and FAM-table walker.
+//
+// Invariants: lookups and fills allocate nothing in steady state (dense
+// mask-indexed arrays, no maps), and replacement is a deterministic
+// function of the access history — both load-bearing for the simulator's
+// byte-identical-output guarantee.
 package tlb
 
 import "fmt"

@@ -10,6 +10,11 @@
 // by the off-node STU (the V-flag protocol of §III-C). Security tests
 // corrupt this cache on purpose and check that the STU still blocks the
 // access.
+//
+// Invariants: Lookup/Update/ReserveSlot allocate nothing in steady state
+// (one flat line array, fixed slot ring), random replacement draws from a
+// per-translator seeded RNG (deterministic for a fixed seed), and the
+// line array recycles through internal/arena across runs.
 package translator
 
 import (
@@ -17,6 +22,7 @@ import (
 	"math/rand"
 
 	"deact/internal/addr"
+	"deact/internal/arena"
 	"deact/internal/memdev"
 	"deact/internal/sim"
 )
@@ -84,6 +90,13 @@ type Translator struct {
 
 // New builds a translator whose cache lines live in dram at cfg.CacheBase.
 func New(cfg Config, dram *memdev.Device, seed int64) (*Translator, error) {
+	return NewInArena(nil, cfg, dram, seed)
+}
+
+// NewInArena is New drawing the line array — the second-largest single
+// allocation a DeACT system makes — and the outstanding-list slots from a.
+// A nil arena allocates normally.
+func NewInArena(a *arena.Arena, cfg Config, dram *memdev.Device, seed int64) (*Translator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -96,10 +109,18 @@ func New(cfg Config, dram *memdev.Device, seed int64) (*Translator, error) {
 		dram:  dram,
 		rng:   rand.New(rand.NewSource(seed)),
 		sets:  sets,
-		lines: make([]entry, sets*EntriesPerLine),
-		slots: make([]sim.Time, cfg.Outstanding),
+		lines: arena.Slice[entry](a, "translator.lines", int(sets*EntriesPerLine)),
+		slots: arena.Slice[sim.Time](a, "translator.slots", cfg.Outstanding),
 	}
 	return t, nil
+}
+
+// Recycle returns the translator's arrays to a for the next run's
+// construction. The translator must not be used afterwards.
+func (t *Translator) Recycle(a *arena.Arena) {
+	arena.Release(a, "translator.lines", t.lines)
+	arena.Release(a, "translator.slots", t.slots)
+	t.lines, t.slots = nil, nil
 }
 
 // line returns the 4-entry cache line of a set.

@@ -15,8 +15,12 @@
 //   - dependence structure (pointer chases block the core; streaming
 //     overlaps — drives how much latency the core can hide).
 //
-// The generators are deterministic per seed. DESIGN.md records this
-// substitution and why it preserves the evaluated behaviour.
+// The generators are deterministic per seed: every draw comes from one
+// per-generator seeded RNG, and generation allocates nothing in steady
+// state, so a core's instruction stream is a pure function of (benchmark,
+// seed). ARCHITECTURE.md records where this substitution for the paper's
+// traces sits in the overall pipeline and why it preserves the evaluated
+// behaviour.
 package workload
 
 import (
@@ -214,7 +218,7 @@ func (g *Generator) Next() Op {
 // Footprints are scaled the same way the paper scales its memory sizes
 // (§IV footnote 3: average application footprint 309MB against 1GB DRAM +
 // 16GB FAM); we scale the footprints and the whole device-capacity ladder
-// together (~4×, see DESIGN.md) so a run of a few hundred thousand
+// together (~4×) so a run of a few hundred thousand
 // instructions exercises the same pressure ratios. Absolute MPKI therefore
 // runs higher than Table III (smaller caches thrash sooner); the ordering
 // and the AT-sensitivity split are what the figures depend on.
