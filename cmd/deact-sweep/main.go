@@ -60,6 +60,7 @@ func run(ctx context.Context) error {
 		seed       = flag.Int64("seed", 42, "random seed")
 		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
 		par        = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
+		share      = flag.Bool("share-warmup", false, "simulate shared warmup prefixes once and fork the measured phases (byte-identical output)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the full sweep to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 	)
@@ -80,7 +81,8 @@ func run(ctx context.Context) error {
 	}
 	defer stopCPU()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed, Parallelism: *par}
+	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed,
+		Parallelism: *par, ShareWarmup: *share}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -18,19 +18,19 @@ package broker
 
 import (
 	"fmt"
-	"math/rand"
 
 	"deact/internal/acm"
 	"deact/internal/addr"
 	"deact/internal/arena"
 	"deact/internal/pagetable"
+	"deact/internal/rng"
 )
 
 // Broker is the centralized FAM manager.
 type Broker struct {
 	layout addr.Layout
 	meta   *acm.Store
-	rng    *rand.Rand
+	rng    *rng.Rand
 
 	// The random-pick free pool is a lazily materialized permutation: it
 	// behaves exactly like a []addr.FPage initialized to the identity and
@@ -65,7 +65,7 @@ func NewInArena(a *arena.Arena, layout addr.Layout, seed int64) (*Broker, error)
 	b := &Broker{
 		layout:    layout,
 		meta:      acm.NewStoreInArena(a, layout),
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rng.New(seed),
 		freeCount: usable,
 		freeMods:  map[uint64]addr.FPage{},
 		owner:     arena.Slice[uint16](a, "broker.owner", int(usable)),

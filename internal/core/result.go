@@ -101,8 +101,8 @@ func ratio(n, d uint64) float64 {
 	return float64(n) / float64(d)
 }
 
-// buildResult converts a before/after snapshot pair to a Result.
-func (c Config) buildResult(before, after snapshot) Result {
+// buildResult converts a before/after counter pair to a Result.
+func (c Config) buildResult(before, after counters) Result {
 	r := Result{
 		Scheme:        c.Scheme,
 		Benchmark:     c.Benchmark,

@@ -45,6 +45,43 @@ func (p *SystemPool) arenaOf() *arena.Arena {
 	return p.a
 }
 
+// RunOption configures how a System is built and run. Options compose:
+// core.Run(ctx, cfg, WithPool(pool), WithSnapshot(snap)) builds a pooled
+// system and forks it from a warmup snapshot instead of simulating the
+// warmup phase again.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	pool        *SystemPool
+	snap        *Snapshot
+	afterWarmup func(*System)
+}
+
+// WithPool draws the system's large backing arrays from pool (nil allocates
+// normally). After the run, Recycle hands the memory back for the pool's
+// next construction.
+func WithPool(pool *SystemPool) RunOption {
+	return func(o *runOptions) { o.pool = pool }
+}
+
+// WithSnapshot forks the run from snap instead of simulating the warmup
+// phase: Run restores the system to snap's warmup/measure boundary and
+// proceeds directly to measurement. The snapshot must come from a config
+// with the same WarmupFingerprint; the forked run's Result is bit-identical
+// to a cold run's. The snapshot is read-only here and may fork any number
+// of runs, concurrently or not.
+func WithSnapshot(snap *Snapshot) RunOption {
+	return func(o *runOptions) { o.snap = snap }
+}
+
+// WithWarmupHook calls fn at the warmup/measure boundary, after the warmup
+// phase has fully drained and before measurement starts — the one point
+// where the system is quiescent and Snapshot is legal. The experiments
+// Runner uses it to capture the shared warmup prefix once per sweep group.
+func WithWarmupHook(fn func(*System)) RunOption {
+	return func(o *runOptions) { o.afterWarmup = fn }
+}
+
 // System is one fully assembled FAM system: a shared broker, fabric and
 // FAM pool, with Nodes compute nodes each running the configured benchmark
 // on CoresPerNode cores.
@@ -56,17 +93,29 @@ type System struct {
 	fam    *memdev.Device
 	nodes  []*node.Node
 	cores  [][]*cpu.Core
+
+	restoreFrom *Snapshot
+	afterWarmup func(*System)
 }
 
-// NewSystem builds a system from cfg.
-func NewSystem(cfg Config) (*System, error) {
-	return NewSystemPooled(cfg, nil)
+// NewSystem builds a system from cfg, applying any options.
+func NewSystem(cfg Config, opts ...RunOption) (*System, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return newSystem(cfg, o)
 }
 
-// NewSystemPooled is NewSystem drawing the system's large backing arrays
-// from pool (nil allocates normally). After the system has run, Recycle
-// hands the memory back for the pool's next construction.
+// NewSystemPooled builds a system drawing its large backing arrays from
+// pool.
+//
+// Deprecated: use NewSystem(cfg, WithPool(pool)).
 func NewSystemPooled(cfg Config, pool *SystemPool) (*System, error) {
+	return NewSystem(cfg, WithPool(pool))
+}
+
+func newSystem(cfg Config, o runOptions) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -74,9 +123,10 @@ func NewSystemPooled(cfg Config, pool *SystemPool) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	a := pool.arenaOf()
+	a := o.pool.arenaOf()
 
-	s := &System{cfg: cfg, engine: sim.NewEngine()}
+	s := &System{cfg: cfg, engine: sim.NewEngine(),
+		restoreFrom: o.snap, afterWarmup: o.afterWarmup}
 	s.brk, err = broker.NewInArena(a, cfg.Layout, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -133,8 +183,8 @@ func (s *System) Nodes() int { return len(s.nodes) }
 // Engine returns the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.engine }
 
-// snapshot captures every counter the Result diffing needs.
-type snapshot struct {
+// counters captures every counter the Result diffing needs.
+type counters struct {
 	time          sim.Time
 	instrs        uint64
 	memOps        uint64
@@ -147,8 +197,8 @@ type snapshot struct {
 	fabricPackets uint64
 }
 
-func (s *System) snap() snapshot {
-	sn := snapshot{
+func (s *System) readCounters() counters {
+	sn := counters{
 		time:          s.engine.Now(),
 		famReads:      s.fam.Reads(),
 		famWrites:     s.fam.Writes(),
@@ -209,11 +259,21 @@ func (s *System) runPhase(ctx context.Context) error {
 // Run executes the warmup phase (if configured) and then the measured
 // phase, returning steady-state metrics. Cancelling ctx aborts the
 // simulation at the next stride boundary and returns ctx.Err().
+//
+// A system built WithSnapshot skips the warmup simulation: it restores the
+// snapshot's warmup/measure boundary and runs only the measured phase. A
+// system built WithWarmupHook has the hook invoked at that same boundary.
 func (s *System) Run(ctx context.Context) (Result, error) {
 	// Phase 1: warmup. Cores are built with the total budget; we trim it
-	// to the warmup length, run, then extend for measurement.
+	// to the warmup length, run, then extend for measurement. A snapshot
+	// fork replaces the whole phase with a state restore.
 	warm := s.cfg.WarmupInstructions
-	if warm > 0 {
+	switch {
+	case s.restoreFrom != nil:
+		if err := s.Restore(s.restoreFrom); err != nil {
+			return Result{}, err
+		}
+	case warm > 0:
 		for _, row := range s.cores {
 			for _, c := range row {
 				c.SetBudget(warm)
@@ -228,7 +288,10 @@ func (s *System) Run(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 	}
-	before := s.snap()
+	if s.afterWarmup != nil {
+		s.afterWarmup(s)
+	}
+	before := s.readCounters()
 
 	for _, row := range s.cores {
 		for _, c := range row {
@@ -239,7 +302,7 @@ func (s *System) Run(ctx context.Context) (Result, error) {
 	if err := s.runPhase(ctx); err != nil {
 		return Result{}, err
 	}
-	after := s.snap()
+	after := s.readCounters()
 	return s.cfg.buildResult(before, after), nil
 }
 
@@ -258,18 +321,17 @@ func (s *System) Recycle(pool *SystemPool) {
 	}
 }
 
-// Run builds and runs a system in one call. ctx cancellation is observed
-// cooperatively inside the event loop (see System.Run).
-func Run(ctx context.Context, cfg Config) (Result, error) {
-	return RunPooled(ctx, cfg, nil)
-}
-
-// RunPooled is Run drawing construction memory from pool and recycling it
-// after the run — the unit of work the experiments Runner schedules, with
-// per-run allocation amortized away across a sweep. A nil pool behaves
-// exactly like Run.
-func RunPooled(ctx context.Context, cfg Config, pool *SystemPool) (Result, error) {
-	s, err := NewSystemPooled(cfg, pool)
+// Run builds and runs a system in one call — the unit of work the
+// experiments Runner schedules. ctx cancellation is observed cooperatively
+// inside the event loop (see System.Run). Options select pooled
+// construction (WithPool), warmup forking (WithSnapshot) and the
+// warmup-boundary hook (WithWarmupHook).
+func Run(ctx context.Context, cfg Config, opts ...RunOption) (Result, error) {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	s, err := newSystem(cfg, o)
 	if err != nil {
 		return Result{}, err
 	}
@@ -278,6 +340,13 @@ func RunPooled(ctx context.Context, cfg Config, pool *SystemPool) (Result, error
 	// is discarded either way and nothing else references its arrays. A
 	// panicking run skips recycling — the pool stays consistent, it just
 	// forgets the in-flight buffers.
-	s.Recycle(pool)
+	s.Recycle(o.pool)
 	return res, err
+}
+
+// RunPooled runs with construction memory drawn from and recycled to pool.
+//
+// Deprecated: use Run(ctx, cfg, WithPool(pool)).
+func RunPooled(ctx context.Context, cfg Config, pool *SystemPool) (Result, error) {
+	return Run(ctx, cfg, WithPool(pool))
 }

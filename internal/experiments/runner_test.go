@@ -18,11 +18,11 @@ func TestPanickingRunDoesNotWedgePool(t *testing.T) {
 	r := New(schedOptions(1)) // one slot: a leaked slot would wedge everything
 
 	orig := coreRun
-	coreRun = func(ctx context.Context, cfg core.Config, pool *core.SystemPool) (core.Result, error) {
+	coreRun = func(ctx context.Context, cfg core.Config, opts ...core.RunOption) (core.Result, error) {
 		if cfg.Benchmark == "canl" {
 			panic("simulation exploded")
 		}
-		return orig(ctx, cfg, pool)
+		return orig(ctx, cfg, opts...)
 	}
 	defer func() { coreRun = orig }()
 

@@ -26,7 +26,7 @@ func TableI() string {
 func TableII() string {
 	c := core.DefaultConfig()
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table II: System Configuration (scaled ×1/4 capacity, see DESIGN.md)\n")
+	fmt.Fprintf(&b, "Table II: System Configuration (scaled ×1/4 capacity, see ARCHITECTURE.md)\n")
 	fmt.Fprintf(&b, "CPU            %d cores/node, %.0fGHz, %d issues/cycle, %d max outstanding\n",
 		c.CoresPerNode, 1000.0/float64(c.CycleTime), c.IssueWidth, c.MaxOutstanding)
 	fmt.Fprintf(&b, "TLB            2 levels, L1 %d entries, L2 %d entries, PTW cache %d\n",

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"deact/internal/core"
+)
+
+// warmShareBatch is a MeasureInstructions sweep — the shape warmup sharing
+// exists for: every measure length of one (scheme, benchmark, warmup) point
+// shares a warmup fingerprint, so one group leader warms up and the rest
+// fork. Two schemes and a seed variant keep several distinct groups live.
+func warmShareBatch(r *Runner) []core.Config {
+	measure := func(n uint64) func(*core.Config) {
+		return func(c *core.Config) { c.MeasureInstructions = n }
+	}
+	seed7 := func(c *core.Config) { c.Seed = 7; c.MeasureInstructions = 2_000 }
+	return []core.Config{
+		r.config(core.IFAM, "mcf", measure(2_000)),
+		r.config(core.IFAM, "mcf", measure(3_000)),
+		r.config(core.IFAM, "mcf", measure(4_000)),
+		r.config(core.DeACTN, "canl", measure(2_000)),
+		r.config(core.DeACTN, "canl", measure(3_000)),
+		r.config(core.IFAM, "mcf", seed7),
+		r.config(core.IFAM, "mcf", measure(2_000)), // duplicate of request 0
+	}
+}
+
+// TestSharedWarmupByteIdentical: a ShareWarmup runner must return exactly
+// the results of a cold runner — at every Parallelism setting, including
+// the strictly serial one where the leader fully finishes before any
+// follower forks, and the concurrent ones where followers fork while the
+// leader's measured phase is still running.
+func TestSharedWarmupByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	cold := New(schedOptions(2))
+	want, err := cold.RunAll(ctx, warmShareBatch(cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, par := range []int{1, 2, 4} {
+		o := schedOptions(par)
+		o.ShareWarmup = true
+		r := New(o)
+		got, err := r.RunAll(ctx, warmShareBatch(r))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism %d: shared-warmup results diverged from cold runner", par)
+		}
+		// The sweep has 4 distinct warmup fingerprints (mcf/IFAM,
+		// canl/DeACTN, mcf/IFAM/seed7 — and the duplicate config dedups
+		// before grouping). Each group must have published a snapshot.
+		r.warmMu.Lock()
+		groups, published := len(r.warm), 0
+		for _, g := range r.warm {
+			if g.snap != nil {
+				published++
+			}
+		}
+		r.warmMu.Unlock()
+		if groups != 3 || published != 3 {
+			t.Fatalf("parallelism %d: %d groups / %d snapshots, want 3/3", par, groups, published)
+		}
+	}
+}
+
+// TestSharedWarmupCachedEvictionBounded: more distinct warmup groups than
+// maxWarmSnapshots must evict down to the bound once runs detach, releasing
+// snapshot storage back to the pool rather than accumulating it.
+func TestSharedWarmupEvictionBounded(t *testing.T) {
+	o := schedOptions(2)
+	o.ShareWarmup = true
+	r := New(o)
+	var cfgs []core.Config
+	for seed := int64(0); seed < int64(maxWarmSnapshots)+3; seed++ {
+		s := seed
+		cfgs = append(cfgs, r.config(core.IFAM, "mcf", func(c *core.Config) {
+			c.Seed = s
+			c.MeasureInstructions = 1_000
+		}))
+	}
+	if _, err := r.RunAll(context.Background(), cfgs); err != nil {
+		t.Fatal(err)
+	}
+	r.warmMu.Lock()
+	live := 0
+	for _, g := range r.warm {
+		if g.snap != nil {
+			live++
+		}
+	}
+	freed := len(r.freeSnaps)
+	r.warmMu.Unlock()
+	if live > maxWarmSnapshots {
+		t.Fatalf("%d live snapshots, bound is %d", live, maxWarmSnapshots)
+	}
+	if freed == 0 {
+		t.Fatal("eviction released no snapshot storage to the pool")
+	}
+}

@@ -1,0 +1,88 @@
+package node
+
+import (
+	"deact/internal/addr"
+	"deact/internal/arena"
+	"deact/internal/cache"
+	"deact/internal/memdev"
+	"deact/internal/pagetable"
+	"deact/internal/stu"
+	"deact/internal/tlb"
+	"deact/internal/translator"
+)
+
+// State is a Node's mutable state for core.System.Snapshot: local DRAM
+// calendars, the cache hierarchy, per-core MMUs, the node page table, the
+// scheme-specific translator/STU state, the OS allocator cursors, the
+// direct NP→FAM backing table and the counters. The broker-owned FAM page
+// table the STU walks is captured by the broker, not here.
+type State struct {
+	dram   memdev.State
+	hier   cache.HierarchyState
+	mmus   []tlb.MMUState
+	pt     pagetable.State
+	trans  translator.State
+	stu    stu.State
+	osa    osAllocator
+	direct []addr.FPage
+	stats  Stats
+}
+
+// CaptureState captures the node into st, reusing st's storage where it
+// fits and drawing large copies from a (nil allocates normally).
+func (n *Node) CaptureState(a *arena.Arena, st *State) {
+	n.dram.CaptureState(&st.dram)
+	n.hier.CaptureState(a, &st.hier)
+	if cap(st.mmus) < len(n.mmus) {
+		grown := make([]tlb.MMUState, len(n.mmus))
+		copy(grown, st.mmus)
+		st.mmus = grown
+	}
+	st.mmus = st.mmus[:len(n.mmus)]
+	for i, m := range n.mmus {
+		m.CaptureState(&st.mmus[i])
+	}
+	n.pt.CaptureState(a, &st.pt)
+	if n.trans != nil {
+		n.trans.CaptureState(a, &st.trans)
+	}
+	if n.stuU != nil {
+		n.stuU.CaptureState(&st.stu)
+	}
+	st.osa = *n.osa
+	st.direct = arena.CopyInto(a, "snap.node.direct", st.direct, n.direct)
+	st.stats = n.stats
+}
+
+// RestoreState rewinds the node to st. The node must be built from the
+// configuration st was captured from.
+func (n *Node) RestoreState(st *State) {
+	n.dram.RestoreState(&st.dram)
+	n.hier.RestoreState(&st.hier)
+	if len(st.mmus) != len(n.mmus) {
+		panic("node: RestoreState MMU count mismatch")
+	}
+	for i, m := range n.mmus {
+		m.RestoreState(&st.mmus[i])
+	}
+	n.pt.RestoreState(&st.pt)
+	if n.trans != nil {
+		n.trans.RestoreState(&st.trans)
+	}
+	if n.stuU != nil {
+		n.stuU.RestoreState(&st.stu)
+	}
+	*n.osa = st.osa
+	n.direct = arena.Extend(n.direct[:0], len(st.direct))
+	copy(n.direct, st.direct)
+	n.stats = st.stats
+}
+
+// Release returns st's large copies to a for reuse by later captures.
+func (st *State) Release(a *arena.Arena) {
+	st.hier.Release(a)
+	st.pt.Release(a)
+	st.trans.Release(a)
+	arena.Release(a, "snap.node.direct", st.direct)
+	st.direct = nil
+}

@@ -1,0 +1,90 @@
+package tlb
+
+// Snapshot state for TLBs, PTW caches and MMUs (core.System.Snapshot). The
+// arrays here are small (tens to hundreds of entries), so the states copy
+// into plain slices reused across captures rather than going through
+// internal/arena.
+
+// State is a TLB's mutable state.
+type State struct {
+	tags    []uint64
+	values  []uint64
+	valid   []bool
+	stamps  []uint64
+	tick    uint64
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// CaptureState captures the TLB into st, reusing st's storage.
+func (t *TLB) CaptureState(st *State) {
+	st.tags = append(st.tags[:0], t.tags...)
+	st.values = append(st.values[:0], t.values...)
+	st.valid = append(st.valid[:0], t.valid...)
+	st.stamps = append(st.stamps[:0], t.stamps...)
+	st.tick = t.tick
+	st.hits, st.misses, st.flushes = t.hits, t.misses, t.flushes
+}
+
+// RestoreState rewinds the TLB to st, copying into the TLB's own arrays.
+// The TLB must have the geometry st was captured from.
+func (t *TLB) RestoreState(st *State) {
+	if len(st.tags) != len(t.tags) {
+		panic("tlb: RestoreState geometry mismatch for " + t.name)
+	}
+	copy(t.tags, st.tags)
+	copy(t.values, st.values)
+	copy(t.valid, st.valid)
+	copy(t.stamps, st.stamps)
+	t.tick = st.tick
+	t.hits, t.misses, t.flushes = st.hits, st.misses, st.flushes
+}
+
+// PTWCacheState is a PTWCache's mutable state.
+type PTWCacheState struct {
+	keys   []uint64
+	stamps []uint64
+	tick   uint64
+	hits   uint64
+	misses uint64
+}
+
+// CaptureState captures the PTW cache into st, reusing st's storage.
+func (p *PTWCache) CaptureState(st *PTWCacheState) {
+	st.keys = append(st.keys[:0], p.keys...)
+	st.stamps = append(st.stamps[:0], p.stamps...)
+	st.tick = p.tick
+	st.hits, st.misses = p.hits, p.misses
+}
+
+// RestoreState rewinds the PTW cache to st.
+func (p *PTWCache) RestoreState(st *PTWCacheState) {
+	if len(st.keys) != len(p.keys) {
+		panic("tlb: RestoreState PTW cache size mismatch")
+	}
+	copy(p.keys, st.keys)
+	copy(p.stamps, st.stamps)
+	p.tick = st.tick
+	p.hits, p.misses = st.hits, st.misses
+}
+
+// MMUState bundles the three structures of one MMU.
+type MMUState struct {
+	l1, l2 State
+	ptw    PTWCacheState
+}
+
+// CaptureState captures the MMU into st.
+func (m *MMU) CaptureState(st *MMUState) {
+	m.L1.CaptureState(&st.l1)
+	m.L2.CaptureState(&st.l2)
+	m.PTW.CaptureState(&st.ptw)
+}
+
+// RestoreState rewinds the MMU to st.
+func (m *MMU) RestoreState(st *MMUState) {
+	m.L1.RestoreState(&st.l1)
+	m.L2.RestoreState(&st.l2)
+	m.PTW.RestoreState(&st.ptw)
+}

@@ -25,11 +25,10 @@ package workload
 
 import (
 	"fmt"
-	"math"
-	"math/rand"
 	"sort"
 
 	"deact/internal/addr"
+	"deact/internal/rng"
 )
 
 // Op is one generated instruction window: Compute non-memory instructions
@@ -113,7 +112,7 @@ const blocksPerPage = addr.PageSize / addr.BlockSize
 // Generator produces the reference stream for one core.
 type Generator struct {
 	p      Profile
-	rng    *rand.Rand
+	rng    *rng.Rand
 	cursor uint64 // sequential scan position in blocks
 	ops    uint64
 
@@ -123,6 +122,13 @@ type Generator struct {
 	fpBlocks  uint64
 	hotBlocks uint64
 	meanGap   int
+
+	// skew inverts the popularity map u ↦ ⌊footprint·u^SkewExp⌋ by binary
+	// search over precomputed boundaries, replacing the per-reference
+	// math.Pow call. nil when the profile is uniform (or the footprint is
+	// too large to table); skewedBlock then falls back to the direct
+	// formula. Both paths produce bit-identical pages for the same draw.
+	skew *skewTable
 }
 
 // NewGenerator builds a deterministic generator for profile p. Each core
@@ -136,10 +142,11 @@ func NewGenerator(p Profile, seed int64) (*Generator, error) {
 	}
 	return &Generator{
 		p:         p,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rng.New(seed),
 		fpBlocks:  p.FootprintPages * blocksPerPage,
 		hotBlocks: p.HotPages * blocksPerPage,
 		meanGap:   1000/p.MemPer1000 - 1,
+		skew:      skewTableFor(p.FootprintPages, p.SkewExp),
 	}, nil
 }
 
@@ -167,13 +174,12 @@ func (g *Generator) uint64n(n uint64) uint64 {
 // the uniform path an unbiased bounded Uint64.
 func (g *Generator) skewedBlock() uint64 {
 	var page uint64
-	if g.p.SkewExp > 1 {
-		u := g.rng.Float64()
-		page = uint64(float64(g.p.FootprintPages) * math.Pow(u, g.p.SkewExp))
-		if page >= g.p.FootprintPages {
-			page = g.p.FootprintPages - 1
-		}
-	} else {
+	switch {
+	case g.skew != nil:
+		page = g.skew.page(g.rng.Float64())
+	case g.p.SkewExp > 1:
+		page = skewedPagePow(g.p.FootprintPages, g.p.SkewExp, g.rng.Float64())
+	default:
 		page = g.uint64n(g.p.FootprintPages)
 	}
 	return page*blocksPerPage + g.uint64n(blocksPerPage)
@@ -210,6 +216,29 @@ func (g *Generator) Next() Op {
 		Write:    g.rng.Float64() < g.p.WriteProb,
 		Blocking: blocking,
 	}
+}
+
+// GeneratorState is the mutable state of a Generator at a point in its
+// stream, captured for core.System.Snapshot. Everything else in a Generator
+// (profile, derived counts, the shared skew table) is immutable after
+// construction.
+type GeneratorState struct {
+	RNG    rng.State
+	Cursor uint64
+	Ops    uint64
+}
+
+// State captures the generator's stream position.
+func (g *Generator) State() GeneratorState {
+	return GeneratorState{RNG: g.rng.State(), Cursor: g.cursor, Ops: g.ops}
+}
+
+// RestoreState rewinds the generator to st. The generator then reproduces
+// exactly the ops a generator that reached st natively would produce.
+func (g *Generator) RestoreState(st GeneratorState) {
+	g.rng.Restore(st.RNG)
+	g.cursor = st.Cursor
+	g.ops = st.Ops
 }
 
 // Catalog returns the benchmark suite of Table III (plus lu, which appears
