@@ -4,6 +4,7 @@
 // Usage:
 //
 //	deact-report -out EXPERIMENTS.md
+//	deact-report -capacity             # append the multi-tenant capacity section
 //	deact-report -parallelism 8        # bound the simulation worker pool
 //	deact-report -cpuprofile cpu.prof  # profile the hot simulation paths
 //	deact-report -memprofile mem.prof  # allocation profile after the run
@@ -55,6 +56,7 @@ func run(ctx context.Context) error {
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
 		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		share   = flag.Bool("share-warmup", false, "simulate shared warmup prefixes once and fork the measured phases (byte-identical output)")
+		capSec  = flag.Bool("capacity", false, "append the multi-tenant capacity-planning section (per-tenant p99 latency under a noisy neighbor); strictly additive to the base report")
 		profile = flag.String("cpuprofile", "", "write a CPU profile of the full report run to this file")
 		memProf = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 	)
@@ -67,7 +69,7 @@ func run(ctx context.Context) error {
 	defer stopCPU()
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed,
-		Parallelism: *par, ShareWarmup: *share}
+		Parallelism: *par, ShareWarmup: *share, Capacity: *capSec}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

@@ -9,7 +9,14 @@
 //	deact-sweep -sweep pairs      # §V-D2:     DeACT-N pairs per way
 //	deact-sweep -sweep fabric     # Figure 15: fabric latency
 //	deact-sweep -sweep nodes      # Figure 16: node count
+//	deact-sweep -sweep capacity   # capacity planning: per-tenant p99 vs scale
 //	deact-sweep -sweep nodes -cpuprofile cpu.prof -memprofile mem.prof
+//
+// The capacity sweep takes three extra knobs: -steady and -noisy name the
+// benchmarks the steady tenants and the noisy tenant 0 run, and
+// -broker-shards fixes how many shards the FAM broker's ownership state is
+// split into (0 derives one shard per two nodes). Its grid
+// (nodes × tenants) is fixed like the figure sweeps' points are.
 //
 // Every (scheme, benchmark, point) simulation of a sweep is independent;
 // they run concurrently on a worker pool of -parallelism slots (default:
@@ -53,7 +60,7 @@ func main() {
 // paths too, instead of being skipped by os.Exit.
 func run(ctx context.Context) error {
 	var (
-		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes")
+		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes, capacity")
 		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core (instruction count, not cycles; deliberately below deact-report's 80k)")
 		measure    = flag.Uint64("measure", 50_000, "measured instructions per core (instruction count, not cycles)")
 		cores      = flag.Int("cores", 2, "cores per node")
@@ -61,6 +68,9 @@ func run(ctx context.Context) error {
 		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
 		par        = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
 		share      = flag.Bool("share-warmup", false, "simulate shared warmup prefixes once and fork the measured phases (byte-identical output)")
+		steady     = flag.String("steady", "sp", "capacity sweep: benchmark the steady tenants run")
+		noisy      = flag.String("noisy", "canl", "capacity sweep: benchmark the noisy tenant 0 runs on every node")
+		shards     = flag.Int("broker-shards", 0, "capacity sweep: FAM broker shards per point, clamped to the node count (0 = one shard per two nodes)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the full sweep to this file")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
 	)
@@ -69,7 +79,7 @@ func run(ctx context.Context) error {
 	// Usage errors exit 2 (before any profile is started), runtime
 	// failures exit 1 — the same convention cmd/benchgate follows.
 	switch *sweep {
-	case "stu", "assoc", "acm", "pairs", "fabric", "nodes":
+	case "stu", "assoc", "acm", "pairs", "fabric", "nodes", "capacity":
 	default:
 		fmt.Fprintf(os.Stderr, "deact-sweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
@@ -82,7 +92,8 @@ func run(ctx context.Context) error {
 	defer stopCPU()
 
 	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed,
-		Parallelism: *par, ShareWarmup: *share}
+		Parallelism: *par, ShareWarmup: *share,
+		SteadyBenchmark: *steady, NoisyBenchmark: *noisy, BrokerShards: *shards}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -106,6 +117,8 @@ func run(ctx context.Context) error {
 		tbl, err = r.Figure15(ctx)
 	case "nodes":
 		tbl, err = r.Figure16(ctx)
+	case "capacity":
+		tbl, err = r.CapacitySweep(ctx)
 	}
 	fmt.Fprintln(os.Stderr) // terminate the progress line
 	if err != nil {

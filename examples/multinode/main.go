@@ -3,28 +3,54 @@
 // inflates every translation round trip, so I-FAM's page-table walks get
 // progressively more expensive — and DeACT's advantage grows with scale.
 //
-// This example runs the dc benchmark on 1, 2, 4 and 8 nodes under I-FAM
-// and DeACT-N and prints the speedup curve. The whole grid goes to the
-// Runner as one RunAll batch, so the eight simulations overlap on the
-// worker pool instead of running back to back.
+// This example runs a steady benchmark on 1, 2, 4 and 8 nodes under I-FAM
+// and DeACT-N and prints the speedup curve. With -tenants N (N ≥ 2) every
+// node also hosts a noisy neighbor: tenant 0 runs the -noisy workload while
+// the other tenants keep the steady one, and two extra columns report the
+// steady tenants' and the noisy tenant's p99 FAM access latency — the
+// noisy-neighbor tax each scheme passes on to well-behaved tenants.
+//
+// The whole grid goes to the Runner as one RunAll batch, so the
+// simulations overlap on the worker pool instead of running back to back.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
 
 	"deact/internal/core"
 	"deact/internal/experiments"
+	"deact/internal/sim"
 )
 
 func main() {
-	const bench = "dc"
-	fmt.Printf("Scaling %s across nodes sharing one Gen-Z-like fabric\n\n", bench)
-	fmt.Printf("%5s  %12s  %12s  %14s  %16s\n",
-		"nodes", "I-FAM IPC", "DeACT IPC", "DeACT speedup", "fabric packets")
+	var (
+		bench   = flag.String("bench", "dc", "steady benchmark to scale")
+		warmup  = flag.Uint64("warmup", 30_000, "warmup instructions per core (instruction count, not cycles)")
+		measure = flag.Uint64("measure", 25_000, "measured instructions per core (instruction count, not cycles)")
+		tenants = flag.Int("tenants", 1, "tenants per deployment; ≥2 adds a noisy neighbor (tenant 0) and per-tenant p99 columns")
+		noisy   = flag.String("noisy", "canl", "benchmark the noisy tenant 0 runs (only with -tenants ≥ 2)")
+	)
+	flag.Parse()
+
+	multi := *tenants >= 2
+	if multi {
+		fmt.Printf("Scaling %s across nodes sharing one Gen-Z-like fabric (%d tenants, tenant 0 runs %s)\n\n",
+			*bench, *tenants, *noisy)
+		fmt.Printf("%5s  %12s  %12s  %14s  %18s  %18s\n",
+			"nodes", "I-FAM IPC", "DeACT IPC", "DeACT speedup", "steady p99 N/I", "noisy p99 N/I")
+	} else {
+		fmt.Printf("Scaling %s across nodes sharing one Gen-Z-like fabric\n\n", *bench)
+		fmt.Printf("%5s  %12s  %12s  %14s  %16s\n",
+			"nodes", "I-FAM IPC", "DeACT IPC", "DeACT speedup", "fabric packets")
+	}
 
 	// Scale lives on the configs below; Options only tunes the pool here.
+	// Every node hosts one core per tenant, so each deployment size carries
+	// the full tenant mix (and the single-tenant shape stays the classic
+	// one-core-per-node Figure 16 setup).
 	counts := []int{1, 2, 4, 8}
 	runner := experiments.New(experiments.Options{})
 	var cfgs []core.Config
@@ -32,11 +58,16 @@ func main() {
 		for _, scheme := range []core.Scheme{core.IFAM, core.DeACTN} {
 			cfg := core.DefaultConfig()
 			cfg.Scheme = scheme
-			cfg.Benchmark = bench
+			cfg.Benchmark = *bench
 			cfg.Nodes = nodes
 			cfg.CoresPerNode = 1
-			cfg.WarmupInstructions = 30_000
-			cfg.MeasureInstructions = 25_000
+			cfg.WarmupInstructions = *warmup
+			cfg.MeasureInstructions = *measure
+			if multi {
+				cfg.CoresPerNode = *tenants
+				cfg.Tenants = *tenants
+				cfg.NoisyBenchmark = *noisy
+			}
 			cfgs = append(cfgs, cfg)
 		}
 	}
@@ -44,13 +75,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	const us = float64(sim.Microsecond) // histogram samples are picoseconds
 	for i, nodes := range counts {
 		rI, rN := res[2*i], res[2*i+1]
-		fmt.Printf("%5d  %12.4f  %12.4f  %13.2fx  %16d\n",
-			nodes, rI.IPC, rN.IPC, rN.Speedup(rI), rI.FabricPackets)
+		if multi {
+			stI, stN := rI.SteadyLatency(*tenants), rN.SteadyLatency(*tenants)
+			nzI, nzN := rI.TenantLatency(0), rN.TenantLatency(0)
+			fmt.Printf("%5d  %12.4f  %12.4f  %13.2fx  %7.2f /%7.2fus  %7.2f /%7.2fus\n",
+				nodes, rI.IPC, rN.IPC, rN.Speedup(rI),
+				stN.FAM.P99()/us, stI.FAM.P99()/us,
+				nzN.FAM.P99()/us, nzI.FAM.P99()/us)
+		} else {
+			fmt.Printf("%5d  %12.4f  %12.4f  %13.2fx  %16d\n",
+				nodes, rI.IPC, rN.IPC, rN.Speedup(rI), rI.FabricPackets)
+		}
 	}
 
 	fmt.Println("\nReading: per-node IPC drops as the fabric saturates, but it drops")
 	fmt.Println("faster for I-FAM because every page-table walk crosses the shared")
 	fmt.Println("link four times; DeACT keeps translations in node-local DRAM.")
+	if multi {
+		fmt.Println("The p99 columns (DeACT-N / I-FAM) show where that shows up for")
+		fmt.Println("tenants: the noisy neighbor inflates I-FAM's steady-tenant tail")
+		fmt.Println("far more, because its translations queue on the shared fabric.")
+	}
 }

@@ -17,16 +17,25 @@
 // arena while consecutive runs on the same slot share one.
 package arena
 
+import "unsafe"
+
 // maxPerTag bounds how many released buffers one tag retains. A system
 // releases at most a few dozen buffers per tag (one per cache instance,
 // page table, …); beyond that, Release keeps the largest.
 const maxPerTag = 64
 
-// buffer is one released slice, stored untyped alongside its element
-// capacity so eviction decisions need no reflection.
+// buffer is one released slice, decomposed so that storing it allocates
+// nothing: boxing a []T into an `any` copies the three-word slice header to
+// the heap on every Release, which at one Release per structure per run
+// added up to a measurable per-run allocation floor. ptr keeps the backing
+// array reachable (an unsafe.Pointer is a real pointer to the GC), and typ
+// holds a nil *T — pointer values box into interfaces without allocating —
+// so Slice can still refuse a buffer whose element type differs from the
+// request even when two call sites share a tag.
 type buffer struct {
-	data any // a zero-length []T
-	cap  int
+	ptr unsafe.Pointer // first element of the released backing array
+	typ any            // (*T)(nil): element-type identity for Slice
+	cap int
 }
 
 // Arena is a tag-keyed free list of recycled slices.
@@ -65,14 +74,14 @@ func Slice[T any](a *Arena, tag string, n int) []T {
 				continue
 			}
 		}
-		if _, ok := free[i].data.([]T); ok {
+		if _, ok := free[i].typ.(*T); ok {
 			best = i
 		}
 	}
 	if best < 0 {
 		return make([]T, n)
 	}
-	b := free[best].data.([]T)
+	b := unsafe.Slice((*T)(free[best].ptr), free[best].cap)
 	free[best] = free[len(free)-1]
 	a.lists[tag] = free[:len(free)-1]
 	b = b[:n]
@@ -87,7 +96,7 @@ func Release[T any](a *Arena, tag string, s []T) {
 	if a == nil || cap(s) == 0 {
 		return
 	}
-	b := buffer{data: s[:0], cap: cap(s)}
+	b := buffer{ptr: unsafe.Pointer(unsafe.SliceData(s[:cap(s)])), typ: (*T)(nil), cap: cap(s)}
 	free := a.lists[tag]
 	if len(free) < maxPerTag {
 		a.lists[tag] = append(free, b)

@@ -100,6 +100,25 @@ type Config struct {
 	// LocalEveryN implements the 20%/80% local/FAM placement (5).
 	LocalEveryN int
 
+	// Tenants is the number of tenants sharing the system. Cores are
+	// assigned round-robin by global core index (node-major), and every
+	// memory reference is tagged with its core's tenant so node.Stats can
+	// attribute latency per tenant. 0 or 1 means single-tenant: all traffic
+	// is recorded under tenant 0 and behavior is identical to a build
+	// without tenancy. At most node.MaxTenants.
+	Tenants int
+	// NoisyBenchmark, when non-empty, makes tenant 0 run this workload
+	// instead of Benchmark — the noisy-neighbor mix the capacity sweep
+	// uses (one thrashing tenant, Tenants-1 steady tenants). Requires
+	// Tenants >= 2.
+	NoisyBenchmark string
+	// BrokerShards partitions the broker/ACM ownership state into
+	// independent shards, each owning a contiguous slice of the FAM page
+	// pool; nodes map to shards round-robin by node ID. 0 or 1 means one
+	// global broker, byte-identical to the unsharded behavior. At most
+	// Nodes (so no shard is left without a node).
+	BrokerShards int
+
 	// TrustReads enables the §III-A encrypted-memory optimization: reads
 	// skip access control (per-node encryption keys make stolen reads
 	// useless ciphertext). The read-trust ablation flips this.
@@ -194,10 +213,54 @@ func (c Config) Validate() error {
 	if _, err := workload.Get(c.Benchmark); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
+	switch {
+	case c.Tenants < 0 || c.Tenants > node.MaxTenants:
+		return fmt.Errorf("%w: Tenants %d out of [0, %d]", ErrInvalidConfig, c.Tenants, node.MaxTenants)
+	case c.Tenants > c.Nodes*c.CoresPerNode:
+		return fmt.Errorf("%w: Tenants %d exceeds total cores %d (a tenant would own no core)",
+			ErrInvalidConfig, c.Tenants, c.Nodes*c.CoresPerNode)
+	case c.BrokerShards < 0 || c.BrokerShards > c.Nodes:
+		return fmt.Errorf("%w: BrokerShards %d out of [0, Nodes=%d]", ErrInvalidConfig, c.BrokerShards, c.Nodes)
+	}
+	if c.NoisyBenchmark != "" {
+		if c.Tenants < 2 {
+			return fmt.Errorf("%w: NoisyBenchmark requires Tenants >= 2 (got %d)", ErrInvalidConfig, c.Tenants)
+		}
+		if _, err := workload.Get(c.NoisyBenchmark); err != nil {
+			return fmt.Errorf("%w: NoisyBenchmark: %w", ErrInvalidConfig, err)
+		}
+	}
 	if err := c.Layout.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
 	return nil
+}
+
+// tenantFor returns the tenant of core ci on node ni (both 0-based):
+// round-robin over the global node-major core index, so tenants interleave
+// across nodes and every tenant gets cores on as many nodes as possible.
+func (c Config) tenantFor(ni, ci int) uint8 {
+	if c.Tenants <= 1 {
+		return 0
+	}
+	return uint8((ni*c.CoresPerNode + ci) % c.Tenants)
+}
+
+// benchmarkFor returns the workload a given tenant runs: NoisyBenchmark for
+// tenant 0 when the noisy-neighbor mix is on, Benchmark otherwise.
+func (c Config) benchmarkFor(tenant uint8) string {
+	if tenant == 0 && c.NoisyBenchmark != "" {
+		return c.NoisyBenchmark
+	}
+	return c.Benchmark
+}
+
+// brokerShards returns the effective shard count (0 normalizes to 1).
+func (c Config) brokerShards() int {
+	if c.BrokerShards <= 0 {
+		return 1
+	}
+	return c.BrokerShards
 }
 
 // stuOrg maps a scheme to its STU organization (E-FAM has no STU).

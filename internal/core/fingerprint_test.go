@@ -76,7 +76,16 @@ func TestFingerprintEqualConfigsHashEqual(t *testing.T) {
 func TestFingerprintCoversEveryField(t *testing.T) {
 	// Hierarchy.Cores is overwritten with CoresPerNode before hashing (and
 	// before simulating), so perturbing it must NOT change run identity.
-	normalized := map[string]bool{"Config.Hierarchy.Cores": true}
+	// Tenants and BrokerShards normalize 0 to 1 — both spellings mean
+	// "single-tenant" / "one shard" and simulate identically — and this
+	// test perturbs them from their default 0 to 1, so the fingerprint must
+	// stay put. (Any value ≥ 2 does change identity; see
+	// TestFingerprintTenancyFieldsDistinct.)
+	normalized := map[string]bool{
+		"Config.Hierarchy.Cores": true,
+		"Config.Tenants":         true,
+		"Config.BrokerShards":    true,
+	}
 
 	base := DefaultConfig()
 	baseFP := base.Fingerprint()
@@ -102,6 +111,31 @@ func TestFingerprintCoversEveryField(t *testing.T) {
 			t.Errorf("perturbing %s aliases perturbing %q", lf.path, prev)
 		}
 		seen[got] = lf.path
+	}
+}
+
+// TestFingerprintTenancyFieldsDistinct pins the tenancy fields' identity
+// semantics: 0 and 1 merge (both mean "feature off"), real values split,
+// and the noisy-benchmark choice is part of run identity.
+func TestFingerprintTenancyFieldsDistinct(t *testing.T) {
+	mk := func(tenants, shards int, noisy string) string {
+		c := DefaultConfig()
+		c.Tenants, c.BrokerShards, c.NoisyBenchmark = tenants, shards, noisy
+		return c.Fingerprint()
+	}
+	if mk(0, 0, "") != mk(1, 1, "") {
+		t.Error("Tenants/BrokerShards 0 and 1 split run identity; they simulate identically")
+	}
+	if mk(2, 0, "") != mk(2, 1, "") {
+		t.Error("BrokerShards 0 vs 1 split identity under tenancy")
+	}
+	distinct := []string{mk(0, 0, ""), mk(2, 0, ""), mk(4, 0, ""), mk(2, 0, "canl"), mk(2, 2, "")}
+	fps := map[string]int{}
+	for i, fp := range distinct {
+		if j, dup := fps[fp]; dup {
+			t.Errorf("tenancy variants %d and %d alias", i, j)
+		}
+		fps[fp] = i
 	}
 }
 
@@ -160,6 +194,11 @@ func TestValidateSentinelErrors(t *testing.T) {
 		{"stu", func(c *Config) { c.STUEntries = 0 }},
 		{"bench", func(c *Config) { c.Benchmark = "nope" }},
 		{"layout", func(c *Config) { c.Layout.ACMBits = 9 }},
+		{"tenants-range", func(c *Config) { c.Tenants = 9 }},
+		{"tenants-exceed-cores", func(c *Config) { c.Nodes, c.CoresPerNode, c.Tenants = 1, 4, 5 }},
+		{"noisy-without-tenants", func(c *Config) { c.NoisyBenchmark = "canl" }},
+		{"noisy-unknown", func(c *Config) { c.Tenants, c.NoisyBenchmark = 2, "nope" }},
+		{"shards-exceed-nodes", func(c *Config) { c.Nodes, c.BrokerShards = 1, 2 }},
 	}
 	for _, tc := range cases {
 		cfg := DefaultConfig()

@@ -33,7 +33,7 @@ func TestPooledRunMatchesUnpooled(t *testing.T) {
 			t.Fatalf("%v unpooled: %v", scheme, err)
 		}
 		for round := 0; round < 3; round++ {
-			got, err := RunPooled(ctx, cfg, pool)
+			got, err := Run(ctx, cfg, WithPool(pool))
 			if err != nil {
 				t.Fatalf("%v pooled round %d: %v", scheme, round, err)
 			}
@@ -44,7 +44,7 @@ func TestPooledRunMatchesUnpooled(t *testing.T) {
 			// before the next round, so reuse crosses run shapes.
 			other := poolTestConfig(scheme, "sp")
 			other.STUEntries = 512
-			if _, err := RunPooled(ctx, other, pool); err != nil {
+			if _, err := Run(ctx, other, WithPool(pool)); err != nil {
 				t.Fatalf("%v dirtying run: %v", scheme, err)
 			}
 		}
@@ -55,10 +55,10 @@ func TestPooledRunMatchesUnpooled(t *testing.T) {
 func TestNilPoolIsValid(t *testing.T) {
 	ctx := context.Background()
 	cfg := poolTestConfig(IFAM, "mcf")
-	if _, err := RunPooled(ctx, cfg, nil); err != nil {
+	if _, err := Run(ctx, cfg, WithPool(nil)); err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewSystemPooled(cfg, nil)
+	s, err := NewSystem(cfg, WithPool(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,4 +66,26 @@ func TestNilPoolIsValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Recycle(nil) // no-op, must not panic
+}
+
+// TestDeprecatedWrappersStillWork keeps the one-more-release compatibility
+// promise on RunPooled/NewSystemPooled: they must behave exactly like the
+// options form they delegate to. (Nothing else in-repo uses them.)
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	ctx := context.Background()
+	cfg := poolTestConfig(DeACTN, "mcf")
+	want, err := Run(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunPooled(ctx, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("RunPooled diverged from Run(WithPool)")
+	}
+	if _, err := NewSystemPooled(cfg, nil); err != nil {
+		t.Fatal(err)
+	}
 }

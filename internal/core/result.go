@@ -54,9 +54,10 @@ type Result struct {
 	FabricPackets uint64
 }
 
-// diffNode subtracts counters.
+// diffNode subtracts counters (and, bucket-wise, the per-tenant latency
+// histograms), so the result reflects the measured phase only.
 func diffNode(a, b node.Stats) node.Stats {
-	return node.Stats{
+	d := node.Stats{
 		NodePTWalks: a.NodePTWalks - b.NodePTWalks,
 		OSFaults:    a.OSFaults - b.OSFaults,
 		FAMData:     a.FAMData - b.FAMData,
@@ -65,6 +66,10 @@ func diffNode(a, b node.Stats) node.Stats {
 		Writebacks:  a.Writebacks - b.Writebacks,
 		Denied:      a.Denied - b.Denied,
 	}
+	for i := range d.Tenants {
+		d.Tenants[i] = a.Tenants[i].Sub(b.Tenants[i])
+	}
+	return d
 }
 
 func diffSTU(a, b stu.Stats) stu.Stats {
@@ -173,6 +178,39 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s/%s nodes=%d IPC=%.4f MPKI=%.1f AT=%.1f%% xlate-hit=%.1f%% acm-hit=%.1f%%",
 		r.Benchmark, r.Scheme, r.Nodes, r.IPC, r.MPKI,
 		r.ATFraction*100, r.TranslationHitRate*100, r.ACMHitRate*100)
+}
+
+// TenantLatency aggregates tenant t's measured-phase latency distributions
+// across all nodes (merge order cannot matter: histogram merging is
+// associative and commutative). Tenants that tagged no traffic return
+// empty distributions.
+func (r Result) TenantLatency(t int) node.TenantLatency {
+	var agg node.TenantLatency
+	if t < 0 || t >= node.MaxTenants {
+		return agg
+	}
+	for i := range r.NodeStats {
+		agg.Merge(r.NodeStats[i].Tenants[t])
+	}
+	return agg
+}
+
+// SteadyLatency merges the latency distributions of every tenant except
+// tenant 0 — the "victims" in the noisy-neighbor mix, where tenant 0 is
+// the thrashing tenant. With fewer than two tenants it returns tenant 0's
+// distributions (everything).
+func (r Result) SteadyLatency(tenants int) node.TenantLatency {
+	if tenants < 2 {
+		return r.TenantLatency(0)
+	}
+	if tenants > node.MaxTenants {
+		tenants = node.MaxTenants
+	}
+	var agg node.TenantLatency
+	for t := 1; t < tenants; t++ {
+		agg.Merge(r.TenantLatency(t))
+	}
+	return agg
 }
 
 // Speedup returns r's performance relative to base (IPC ratio), the metric

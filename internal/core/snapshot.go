@@ -34,7 +34,7 @@ type Snapshot struct {
 	engine sim.EngineState
 	fab    fabric.State
 	fam    memdev.State
-	brk    broker.State
+	brk    broker.ShardedState
 	nodes  []node.State
 	cores  [][]cpu.State
 }

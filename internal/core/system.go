@@ -19,8 +19,9 @@ import (
 // SystemPool recycles the large construction-time allocations of a System
 // — cache line arrays, page-table arenas, the broker's owner table, ACM
 // chunk slabs, translator lines, OS backing tables (~2.5MB zeroed per run)
-// — across the hundreds of runs of a sweep: build with NewSystemPooled,
-// run, then Recycle, and the next same-shaped system reuses the memory,
+// — across the hundreds of runs of a sweep: build with
+// NewSystem(cfg, WithPool(pool)), run, then Recycle, and the next
+// same-shaped system reuses the memory,
 // clearing instead of reallocating. Results are byte-identical to unpooled
 // runs (recycled buffers are zeroed on reuse; the golden-report CI job
 // holds this).
@@ -88,7 +89,7 @@ func WithWarmupHook(fn func(*System)) RunOption {
 type System struct {
 	cfg    Config
 	engine *sim.Engine
-	brk    *broker.Broker
+	brk    broker.Sharded
 	fab    *fabric.Fabric
 	fam    *memdev.Device
 	nodes  []*node.Node
@@ -123,11 +124,19 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The noisy-neighbor mix swaps tenant 0's workload; all other tenants
+	// run the steady benchmark.
+	noisyProf := prof
+	if cfg.NoisyBenchmark != "" {
+		if noisyProf, err = workload.Get(cfg.NoisyBenchmark); err != nil {
+			return nil, err
+		}
+	}
 	a := o.pool.arenaOf()
 
 	s := &System{cfg: cfg, engine: sim.NewEngine(),
 		restoreFrom: o.snap, afterWarmup: o.afterWarmup}
-	s.brk, err = broker.NewInArena(a, cfg.Layout, cfg.Seed)
+	s.brk, err = broker.NewShardedInArena(a, cfg.Layout, cfg.Seed, cfg.brokerShards())
 	if err != nil {
 		return nil, err
 	}
@@ -136,18 +145,26 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 
 	total := cfg.WarmupInstructions + cfg.MeasureInstructions
 	for ni := 0; ni < cfg.Nodes; ni++ {
-		// Node IDs start at 1; the broker reserves 0 for itself.
-		n, err := node.NewInArena(a, cfg.nodeConfig(uint16(ni+1)), s.brk, s.fab, s.fam)
+		// Node IDs start at 1; the broker reserves 0 for itself. Each node
+		// is served by its shard of the (possibly unsharded) broker.
+		id := uint16(ni + 1)
+		n, err := node.NewInArena(a, cfg.nodeConfig(id), s.brk.For(id), s.fab, s.fam)
 		if err != nil {
 			return nil, err
 		}
 		s.nodes = append(s.nodes, n)
 		var row []*cpu.Core
 		for ci := 0; ci < cfg.CoresPerNode; ci++ {
-			gen, err := workload.NewGenerator(prof, cfg.Seed+int64(ni)*100+int64(ci))
+			tenant := cfg.tenantFor(ni, ci)
+			p := prof
+			if tenant == 0 && cfg.NoisyBenchmark != "" {
+				p = noisyProf
+			}
+			gen, err := workload.NewGenerator(p, cfg.Seed+int64(ni)*100+int64(ci))
 			if err != nil {
 				return nil, err
 			}
+			gen.SetTenant(tenant)
 			c, err := cpu.New(cpu.Config{
 				ID: ci, CycleTime: cfg.CycleTime, IssueWidth: cfg.IssueWidth,
 				MaxOutstanding: cfg.MaxOutstanding, Instructions: total,
@@ -171,8 +188,17 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 	return s, nil
 }
 
-// Broker exposes the system broker (examples: shared pages, migration).
-func (s *System) Broker() *broker.Broker { return s.brk }
+// Broker exposes the system broker (examples: shared pages, migration). In
+// an unsharded configuration (BrokerShards ≤ 1, the default) this is the
+// single full-pool broker; with sharding on it is shard 0 — use BrokerFor
+// to reach the shard serving a specific node.
+func (s *System) Broker() *broker.Broker { return s.brk.Shard(0) }
+
+// BrokerFor returns the broker shard serving the given node ID.
+func (s *System) BrokerFor(node uint16) *broker.Broker { return s.brk.For(node) }
+
+// BrokerShards returns the effective broker shard count.
+func (s *System) BrokerShards() int { return s.brk.Shards() }
 
 // Node returns node i (0-based).
 func (s *System) Node(i int) *node.Node { return s.nodes[i] }

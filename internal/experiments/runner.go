@@ -62,6 +62,20 @@ type Options struct {
 	// settings — are unchanged; only wall-clock time drops when sweep
 	// points share a warmup prefix (e.g. a MeasureInstructions sweep).
 	ShareWarmup bool
+	// Capacity appends the multi-tenant capacity-planning section
+	// (CapacitySweep) to Report's output. It is additive: every line the
+	// report emits without it is emitted unchanged with it.
+	Capacity bool
+	// SteadyBenchmark is the workload the steady tenants run in the
+	// capacity sweep ("sp" if empty).
+	SteadyBenchmark string
+	// NoisyBenchmark is the workload the noisy tenant (tenant 0 on every
+	// node) runs in the capacity sweep ("canl" if empty).
+	NoisyBenchmark string
+	// BrokerShards fixes the FAM broker shard count at every capacity
+	// sweep point (clamped to the point's node count). 0 derives one
+	// shard per two nodes, min 1.
+	BrokerShards int
 }
 
 // RunInfo describes one completed distinct simulation for the OnRunDone

@@ -26,6 +26,7 @@ import (
 	"deact/internal/memdev"
 	"deact/internal/pagetable"
 	"deact/internal/sim"
+	"deact/internal/stats"
 	"deact/internal/stu"
 	"deact/internal/tlb"
 	"deact/internal/translator"
@@ -106,6 +107,49 @@ func (c Config) Validate() error {
 	return c.Layout.Validate()
 }
 
+// MaxTenants is the maximum number of distinct tenants a run can tag
+// traffic with. It bounds the fixed per-tenant histogram array in Stats:
+// fixed arrays (not slices) keep Stats a plain value, so the existing
+// value-copy capture in node.State and core.Snapshot remains a deep copy
+// and recording stays allocation-free.
+const MaxTenants = 8
+
+// TenantLatency is one tenant's latency distributions on a node, split the
+// way capacity planning needs them: the VA→NP translation step (TLB/PTW/OS,
+// which in I-FAM nests FAM round trips) versus the post-translation memory
+// access, with accesses further classed by destination zone (local DRAM vs.
+// fabric-attached memory, where the scheme's FAM translation/verification
+// cost lives). All samples are in picoseconds (sim.Time units).
+type TenantLatency struct {
+	// Translation is the latency of resolving the virtual page to a node
+	// physical page (zero-latency L1 TLB hits are recorded as 0 samples).
+	Translation stats.Histogram
+	// Local is the post-translation access latency of references to the
+	// node's local DRAM zone.
+	Local stats.Histogram
+	// FAM is the post-translation access latency of references to the
+	// fabric-attached memory zone, including the scheme's translation and
+	// verification machinery.
+	FAM stats.Histogram
+}
+
+// Merge folds o's samples into t (for aggregating across nodes or tenants).
+func (t *TenantLatency) Merge(o TenantLatency) {
+	t.Translation.Merge(o.Translation)
+	t.Local.Merge(o.Local)
+	t.FAM.Merge(o.FAM)
+}
+
+// Sub returns t minus an earlier capture o of the same distributions, the
+// warmup-exclusion diff applied to every counter in Stats.
+func (t TenantLatency) Sub(o TenantLatency) TenantLatency {
+	return TenantLatency{
+		Translation: t.Translation.Sub(o.Translation),
+		Local:       t.Local.Sub(o.Local),
+		FAM:         t.FAM.Sub(o.FAM),
+	}
+}
+
 // Stats aggregates node activity for the paper's figures.
 type Stats struct {
 	// NodePTWalks counts node-level page-table walks (TLB misses).
@@ -126,6 +170,11 @@ type Stats struct {
 	Writebacks uint64
 	// Denied counts accesses rejected by system-level access control.
 	Denied uint64
+
+	// Tenants holds per-tenant latency distributions, indexed by
+	// workload.Op.Tenant. Single-tenant runs record everything under
+	// index 0.
+	Tenants [MaxTenants]TenantLatency
 }
 
 // Node is one compute node.
@@ -297,14 +346,33 @@ func (n *Node) famAT(now sim.Time, fa addr.FAddr, write bool) sim.Time {
 	return n.famRT(now, fa, write)
 }
 
-// Access implements cpu.AccessFunc: one full memory reference.
+// Access implements cpu.AccessFunc: one full memory reference. The op's
+// tenant tag selects which per-tenant histogram set observes the
+// reference's translation and access latency; recording is observation
+// only (no RNG draws, no timing effect), so tagged and untagged runs are
+// cycle-identical.
 func (n *Node) Access(now sim.Time, coreID int, op workload.Op) (sim.Time, error) {
+	tid := op.Tenant
+	if tid >= MaxTenants { // out-of-contract tags clamp rather than corrupt
+		tid = MaxTenants - 1
+	}
+	ts := &n.stats.Tenants[tid]
 	npPage, t, err := n.translate(now, coreID, op.Addr.Page())
 	if err != nil {
 		return t, err
 	}
+	ts.Translation.Record(uint64(t - now))
 	npa := addr.NPFromVP(npPage, op.Addr.Offset())
-	return n.memAccess(t, coreID, npa, op.Write, false)
+	done, err := n.memAccess(t, coreID, npa, op.Write, false)
+	if err != nil {
+		return done, err
+	}
+	if n.cfg.Layout.InLocalZone(npa) {
+		ts.Local.Record(uint64(done - t))
+	} else {
+		ts.FAM.Record(uint64(done - t))
+	}
+	return done, nil
 }
 
 // translate resolves a virtual page through the TLBs, walking the node

@@ -86,10 +86,21 @@ func (s *Server) Acquire(now, service Time) (start, done Time) {
 		s.tail = now + service
 		return now, s.tail
 	}
-	// Out-of-order arrival: take the earliest gap that fits, else queue
-	// behind the tail. Gaps closing at or before the arrival cannot host it
-	// (their remaining room ends before now+service); gap ends are sorted,
-	// so binary-search past them instead of scanning — which also skips any
+	// Out-of-order arrival. Gap ends are ascending (gaps are created in
+	// tail order and splits keep both halves in place), so if the request
+	// cannot finish inside the latest-ending live gap it fits no gap at
+	// all: queue straight behind the tail without touching the calendar.
+	// This keeps the common "barely out of order" arrival — behind the
+	// tail but past every idle window — at two compares.
+	if n := len(s.gaps); n == s.head || now+service > s.gaps[n-1].end {
+		start = s.tail
+		s.tail += service
+		return start, s.tail
+	}
+	// Take the earliest gap that fits, else queue behind the tail. Gaps
+	// closing at or before the arrival cannot host it (their remaining
+	// room ends before now+service); gap ends are sorted, so
+	// binary-search past them instead of scanning — which also skips any
 	// retired-but-uncompacted prefix, so no pruning is needed here.
 	lo, hi := s.head, len(s.gaps)
 	for lo < hi {

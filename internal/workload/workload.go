@@ -44,6 +44,11 @@ type Op struct {
 	// Blocking marks dependent loads the core cannot overlap (pointer
 	// chasing); streaming loads are overlapped up to the MLP window.
 	Blocking bool
+	// Tenant identifies the tenant this reference belongs to. It is stamped
+	// by the generator (SetTenant) and carried unchanged through cpu.Core
+	// into node.Node, where latency is recorded per tenant. 0 in
+	// single-tenant runs.
+	Tenant uint8
 }
 
 // Profile characterizes one benchmark.
@@ -115,6 +120,7 @@ type Generator struct {
 	rng    *rng.Rand
 	cursor uint64 // sequential scan position in blocks
 	ops    uint64
+	tenant uint8 // stamped onto every Op; set once at construction time
 
 	// Derived counts, precomputed so Next stays off the division/multiply
 	// path: the working set and hot region in 64B blocks, and the mean
@@ -152,6 +158,16 @@ func NewGenerator(p Profile, seed int64) (*Generator, error) {
 
 // Profile returns the generator's profile.
 func (g *Generator) Profile() Profile { return g.p }
+
+// SetTenant sets the tenant ID stamped onto every generated Op. It is
+// configuration, not stream state: it consumes no RNG draws, so a tagged
+// generator produces the identical reference stream as an untagged one,
+// and it is not part of GeneratorState (a restored generator keeps the
+// tenant it was constructed with).
+func (g *Generator) SetTenant(t uint8) { g.tenant = t }
+
+// Tenant returns the tenant ID this generator stamps onto its ops.
+func (g *Generator) Tenant() uint8 { return g.tenant }
 
 // uint64n returns a uniform value in [0, n) without modulo bias. Powers of
 // two take one masked draw; other bounds reject the (at most n-1 values
@@ -215,6 +231,7 @@ func (g *Generator) Next() Op {
 		Addr:     vbase + addr.VAddr(block*addr.BlockSize),
 		Write:    g.rng.Float64() < g.p.WriteProb,
 		Blocking: blocking,
+		Tenant:   g.tenant,
 	}
 }
 
