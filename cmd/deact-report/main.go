@@ -6,6 +6,7 @@
 //	deact-report -out EXPERIMENTS.md
 //	deact-report -capacity             # append the multi-tenant capacity section
 //	deact-report -parallelism 8        # bound the simulation worker pool
+//	deact-report -store .deact-store   # serve repeat runs from the persistent result store
 //	deact-report -cpuprofile cpu.prof  # profile the hot simulation paths
 //	deact-report -memprofile mem.prof  # allocation profile after the run
 //
@@ -27,11 +28,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
+	"deact/internal/cli"
 	"deact/internal/experiments"
-	"deact/internal/profiling"
 )
 
 func main() {
@@ -48,48 +48,31 @@ func main() {
 // os.Exit.
 func run(ctx context.Context) error {
 	var (
-		out     = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
-		warmup  = flag.Uint64("warmup", 80_000, "warmup instructions per core (instruction count, not cycles)")
-		measure = flag.Uint64("measure", 60_000, "measured instructions per core (instruction count, not cycles)")
-		cores   = flag.Int("cores", 2, "cores per node")
-		seed    = flag.Int64("seed", 42, "random seed")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
-		par     = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		share   = flag.Bool("share-warmup", false, "simulate shared warmup prefixes once and fork the measured phases (byte-identical output)")
-		capSec  = flag.Bool("capacity", false, "append the multi-tenant capacity-planning section (per-tenant p99 latency under a noisy neighbor); strictly additive to the base report")
-		profile = flag.String("cpuprofile", "", "write a CPU profile of the full report run to this file")
-		memProf = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
+		out    = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
+		capSec = flag.Bool("capacity", false, "append the multi-tenant capacity-planning section (per-tenant p99 latency under a noisy neighbor); strictly additive to the base report")
 	)
+	scale := cli.ScaleFlags(flag.CommandLine, 80_000, 60_000, 2)
+	runner := cli.RunnerFlags(flag.CommandLine)
+	prof := cli.ProfilingFlags(flag.CommandLine, "the full report run")
 	flag.Parse()
 
-	stopCPU, err := profiling.StartCPU("deact-report", *profile)
+	stopCPU, err := prof.Start("deact-report")
 	if err != nil {
 		return err
 	}
 	defer stopCPU()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed,
-		Parallelism: *par, ShareWarmup: *share, Capacity: *capSec}
-	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+	opts, err := runner.Options(scale)
+	if err != nil {
+		return err
 	}
-	opts.OnRunDone = progressPrinter(os.Stderr)
+	opts.Capacity = *capSec
+	opts.OnRunDone = cli.ProgressPrinter(os.Stderr)
 
 	if err := generate(ctx, opts, *out); err != nil {
 		return err
 	}
-	return profiling.WriteHeap(*memProf)
-}
-
-// progressPrinter returns an OnRunDone hook that keeps one live
-// completed/total line on w. The runner serializes calls.
-func progressPrinter(w *os.File) func(experiments.RunInfo) {
-	return func(ri experiments.RunInfo) {
-		fmt.Fprintf(w, "\rruns: %d/%d completed", ri.Completed, ri.Submitted)
-		if ri.Completed == ri.Submitted {
-			fmt.Fprint(w, " ")
-		}
-	}
+	return prof.WriteHeap()
 }
 
 // generate stages the whole report in memory and writes the output file

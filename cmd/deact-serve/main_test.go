@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deact/internal/experiments"
+	"deact/internal/resultstore"
+)
+
+// testServer builds the service at -short scale with a store in dir.
+func testServer(t *testing.T, dir string) *httptest.Server {
+	t.Helper()
+	st, err := resultstore.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(experiments.Options{Warmup: 1_000, Measure: 2_000, Cores: 1, Seed: 42,
+		Parallelism: 2, Store: st})
+	ts := httptest.NewServer(s.mux())
+	t.Cleanup(func() {
+		ts.Close()
+		s.runner.WaitIdle()
+	})
+	return ts
+}
+
+// line is the decoded shape of a /run response or /sweep NDJSON line; Result
+// stays raw so byte-identity can be asserted.
+type line struct {
+	Fingerprint string
+	Cached      bool
+	Result      json.RawMessage
+	Error       string
+}
+
+func postRun(t *testing.T, ts *httptest.Server, body string) line {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /run %s: %d: %s", body, resp.StatusCode, data)
+	}
+	var l line
+	if err := json.Unmarshal(data, &l); err != nil {
+		t.Fatalf("POST /run response: %v: %s", err, data)
+	}
+	return l
+}
+
+// TestServeRunSecondPostIsCacheHit is the service-mode acceptance gate:
+// the second POST of the same configuration answers from the store with
+// byte-identical result bytes.
+func TestServeRunSecondPostIsCacheHit(t *testing.T) {
+	ts := testServer(t, t.TempDir())
+	const body = `{"Benchmark":"mcf","Scheme":"deact-n"}`
+	first := postRun(t, ts, body)
+	if first.Cached {
+		t.Fatal("first POST served from an empty store")
+	}
+	if first.Fingerprint == "" || len(first.Result) == 0 {
+		t.Fatalf("incomplete response: %+v", first)
+	}
+	second := postRun(t, ts, body)
+	if !second.Cached {
+		t.Fatal("second POST of the same config did not hit the store")
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Fatal("fingerprint changed between identical POSTs")
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cache hit not byte-identical to the computed result")
+	}
+}
+
+// TestServeSparseOverlay: `{}` and an explicit default knob land on the
+// same fingerprint; a changed knob lands on a different one.
+func TestServeSparseOverlay(t *testing.T) {
+	ts := testServer(t, t.TempDir())
+	empty := postRun(t, ts, `{}`)
+	same := postRun(t, ts, `{"Seed":42}`)
+	if empty.Fingerprint != same.Fingerprint {
+		t.Fatal("explicit default landed on a different fingerprint than {}")
+	}
+	if !same.Cached {
+		t.Fatal("identity-preserving overlay missed the store")
+	}
+	other := postRun(t, ts, `{"Seed":7}`)
+	if other.Fingerprint == empty.Fingerprint {
+		t.Fatal("changed seed kept the fingerprint")
+	}
+}
+
+// TestServeSweepStreamsInOrder: NDJSON lines come back in submission
+// order, and a repeat sweep is all cache hits with identical bytes.
+func TestServeSweepStreamsInOrder(t *testing.T) {
+	ts := testServer(t, t.TempDir())
+	const body = `{"Configs":[
+		{"Benchmark":"mcf","Scheme":"i-fam"},
+		{"Benchmark":"mcf","Scheme":"deact-n"},
+		{"Benchmark":"sp","Scheme":"deact-n"}
+	]}`
+	sweep := func() []line {
+		resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			data, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST /sweep: %d: %s", resp.StatusCode, data)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Fatalf("sweep Content-Type = %q", ct)
+		}
+		var lines []line
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(nil, 1<<20)
+		for sc.Scan() {
+			var l line
+			if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+				t.Fatalf("bad NDJSON line: %v: %s", err, sc.Text())
+			}
+			lines = append(lines, l)
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return lines
+	}
+
+	cold := sweep()
+	if len(cold) != 3 {
+		t.Fatalf("cold sweep returned %d lines, want 3", len(cold))
+	}
+	for i, l := range cold {
+		if l.Error != "" || len(l.Result) == 0 {
+			t.Fatalf("cold line %d incomplete: %+v", i, l)
+		}
+		if l.Cached {
+			t.Fatalf("cold line %d claims a cache hit", i)
+		}
+	}
+	if cold[0].Fingerprint == cold[1].Fingerprint || cold[1].Fingerprint == cold[2].Fingerprint {
+		t.Fatal("distinct configs share a fingerprint")
+	}
+
+	warm := sweep()
+	for i := range cold {
+		if !warm[i].Cached {
+			t.Errorf("warm line %d not served from the store", i)
+		}
+		if warm[i].Fingerprint != cold[i].Fingerprint {
+			t.Errorf("line %d out of submission order on the warm pass", i)
+		}
+		if !bytes.Equal(warm[i].Result, cold[i].Result) {
+			t.Errorf("warm line %d not byte-identical to the cold run", i)
+		}
+	}
+}
+
+// TestServeResultLookup: a computed fingerprint resolves to its stored
+// envelope; unknown and malformed fingerprints are 404s.
+func TestServeResultLookup(t *testing.T) {
+	ts := testServer(t, t.TempDir())
+	ran := postRun(t, ts, `{"Benchmark":"mcf","Scheme":"deact-n"}`)
+
+	resp, err := http.Get(ts.URL + "/result/" + ran.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /result: %d", resp.StatusCode)
+	}
+	var e struct {
+		Model, Fingerprint string
+		Result             json.RawMessage
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Fingerprint != ran.Fingerprint || e.Model == "" {
+		t.Fatalf("entry envelope incomplete: %+v", e)
+	}
+	if !bytes.Equal(e.Result, ran.Result) {
+		t.Fatal("stored result differs from the served one")
+	}
+
+	for _, fp := range []string{strings.Repeat("0", 32), "not-a-fingerprint", "%2e%2e%2fescape"} {
+		resp, err := http.Get(ts.URL + "/result/" + fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /result/%s: %d, want 404", fp, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeRejectsBadRequests pins the strict decode contract at the HTTP
+// boundary: misspelled fields, bad scheme names, invalid configs and wrong
+// methods are client errors, not simulations of the wrong system.
+func TestServeRejectsBadRequests(t *testing.T) {
+	ts := testServer(t, t.TempDir())
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"unknown field", `{"Benchmrak":"mcf"}`},
+		{"bad scheme", `{"Scheme":"fam-e"}`},
+		{"invalid config", `{"Tenants":9999}`},
+		{"trailing garbage", `{"Seed":1} {"Seed":2}`},
+		{"not json", `seed=1`},
+	} {
+		resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: POST /run = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", strings.NewReader(`{"Configs":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty sweep = %d, want 400", resp.StatusCode)
+	}
+	getRun, err := http.Get(ts.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getRun.Body.Close()
+	if getRun.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /run = %d, want 405", getRun.StatusCode)
+	}
+	health, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	health.Body.Close()
+	if health.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz = %d", health.StatusCode)
+	}
+}

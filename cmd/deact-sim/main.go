@@ -22,42 +22,25 @@ import (
 	"strings"
 	"syscall"
 
+	"deact/internal/cli"
 	"deact/internal/core"
 	"deact/internal/sim"
 	"deact/internal/workload"
 )
-
-func parseScheme(s string) (core.Scheme, error) {
-	switch strings.ToLower(s) {
-	case "e-fam", "efam":
-		return core.EFAM, nil
-	case "i-fam", "ifam":
-		return core.IFAM, nil
-	case "deact-w", "deactw":
-		return core.DeACTW, nil
-	case "deact-n", "deactn", "deact":
-		return core.DeACTN, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (want e-fam, i-fam, deact-w or deact-n)", s)
-	}
-}
 
 func main() {
 	var (
 		schemeFlag = flag.String("scheme", "deact-n", "virtual-memory scheme: e-fam, i-fam, deact-w, deact-n")
 		bench      = flag.String("bench", "mcf", "benchmark name ("+strings.Join(workload.Names(), ", ")+")")
 		nodes      = flag.Int("nodes", 1, "compute nodes sharing the fabric")
-		cores      = flag.Int("cores", 4, "cores per node")
-		warmup     = flag.Uint64("warmup", 80_000, "warmup instructions per core (instruction count, not cycles)")
-		measure    = flag.Uint64("measure", 60_000, "measured instructions per core (instruction count, not cycles)")
-		seed       = flag.Int64("seed", 42, "random seed (drives placement, workloads and replacement; fixed seed = byte-identical output)")
 		stuSize    = flag.Int("stu", 1024, "STU cache size in entries, not bytes (Figure 13 sweeps 256-8192)")
 		fabricNS   = flag.Uint64("fabric-ns", 500, "fabric one-way propagation latency in nanoseconds, not cycles (Figure 15 sweeps 100-6000)")
 		verbose    = flag.Bool("v", false, "print per-node counters")
 	)
+	scale := cli.ScaleFlags(flag.CommandLine, 80_000, 60_000, 4)
 	flag.Parse()
 
-	scheme, err := parseScheme(*schemeFlag)
+	scheme, err := core.ParseScheme(*schemeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "deact-sim:", err)
 		os.Exit(2)
@@ -66,10 +49,10 @@ func main() {
 	cfg.Scheme = scheme
 	cfg.Benchmark = *bench
 	cfg.Nodes = *nodes
-	cfg.CoresPerNode = *cores
-	cfg.WarmupInstructions = *warmup
-	cfg.MeasureInstructions = *measure
-	cfg.Seed = *seed
+	cfg.CoresPerNode = scale.Cores
+	cfg.WarmupInstructions = scale.Warmup
+	cfg.MeasureInstructions = scale.Measure
+	cfg.Seed = scale.Seed
 	cfg.STUEntries = *stuSize
 	cfg.FabricLatency = sim.NS(*fabricNS)
 

@@ -11,6 +11,7 @@
 //	deact-sweep -sweep nodes      # Figure 16: node count
 //	deact-sweep -sweep capacity   # capacity planning: per-tenant p99 vs scale
 //	deact-sweep -sweep nodes -cpuprofile cpu.prof -memprofile mem.prof
+//	deact-sweep -sweep stu -store .deact-store   # serve repeat points from the persistent result store
 //
 // The capacity sweep takes three extra knobs: -steady and -noisy name the
 // benchmarks the steady tenants and the noisy tenant 0 run, and
@@ -39,11 +40,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strings"
 	"syscall"
 
+	"deact/internal/cli"
 	"deact/internal/experiments"
-	"deact/internal/profiling"
 	"deact/internal/stats"
 )
 
@@ -60,20 +60,16 @@ func main() {
 // paths too, instead of being skipped by os.Exit.
 func run(ctx context.Context) error {
 	var (
-		sweep      = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes, capacity")
-		warmup     = flag.Uint64("warmup", 60_000, "warmup instructions per core (instruction count, not cycles; deliberately below deact-report's 80k)")
-		measure    = flag.Uint64("measure", 50_000, "measured instructions per core (instruction count, not cycles)")
-		cores      = flag.Int("cores", 2, "cores per node")
-		seed       = flag.Int64("seed", 42, "random seed")
-		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 14)")
-		par        = flag.Int("parallelism", 0, "max concurrent simulations (0 = GOMAXPROCS, 1 = serial)")
-		share      = flag.Bool("share-warmup", false, "simulate shared warmup prefixes once and fork the measured phases (byte-identical output)")
-		steady     = flag.String("steady", "sp", "capacity sweep: benchmark the steady tenants run")
-		noisy      = flag.String("noisy", "canl", "capacity sweep: benchmark the noisy tenant 0 runs on every node")
-		shards     = flag.Int("broker-shards", 0, "capacity sweep: FAM broker shards per point, clamped to the node count (0 = one shard per two nodes)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the full sweep to this file")
-		memProfile = flag.String("memprofile", "", "write an allocation profile taken after the sweep to this file")
+		sweep  = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes, capacity")
+		steady = flag.String("steady", "sp", "capacity sweep: benchmark the steady tenants run")
+		noisy  = flag.String("noisy", "canl", "capacity sweep: benchmark the noisy tenant 0 runs on every node")
+		shards = flag.Int("broker-shards", 0, "capacity sweep: FAM broker shards per point, clamped to the node count (0 = one shard per two nodes)")
 	)
+	// Warmup/measure default below deact-report's 80k/60k deliberately: a
+	// sweep multiplies every point across schemes and benchmark groups.
+	scale := cli.ScaleFlags(flag.CommandLine, 60_000, 50_000, 2)
+	runnerFlags := cli.RunnerFlags(flag.CommandLine)
+	prof := cli.ProfilingFlags(flag.CommandLine, "the full sweep")
 	flag.Parse()
 
 	// Usage errors exit 2 (before any profile is started), runtime
@@ -85,21 +81,18 @@ func run(ctx context.Context) error {
 		os.Exit(2)
 	}
 
-	stopCPU, err := profiling.StartCPU("deact-sweep", *cpuProfile)
+	stopCPU, err := prof.Start("deact-sweep")
 	if err != nil {
 		return err
 	}
 	defer stopCPU()
 
-	opts := experiments.Options{Warmup: *warmup, Measure: *measure, Cores: *cores, Seed: *seed,
-		Parallelism: *par, ShareWarmup: *share,
-		SteadyBenchmark: *steady, NoisyBenchmark: *noisy, BrokerShards: *shards}
-	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+	opts, err := runnerFlags.Options(scale)
+	if err != nil {
+		return err
 	}
-	opts.OnRunDone = func(ri experiments.RunInfo) {
-		fmt.Fprintf(os.Stderr, "\rruns: %d/%d completed", ri.Completed, ri.Submitted)
-	}
+	opts.SteadyBenchmark, opts.NoisyBenchmark, opts.BrokerShards = *steady, *noisy, *shards
+	opts.OnRunDone = cli.ProgressPrinter(os.Stderr)
 	r := experiments.New(opts)
 	defer r.WaitIdle()
 
@@ -127,5 +120,5 @@ func run(ctx context.Context) error {
 	fmt.Print(tbl.Render())
 	fmt.Printf("(%d simulation runs)\n", r.CachedRuns())
 
-	return profiling.WriteHeap(*memProfile)
+	return prof.WriteHeap()
 }

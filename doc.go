@@ -18,8 +18,7 @@
 // event order (results are byte-identical to an uncancelled drain). The
 // construction/run surface is options-form: core.WithPool recycles
 // construction memory, core.WithSnapshot forks a run from a warmup
-// snapshot, core.WithWarmupHook observes the warmup/measure boundary
-// (RunPooled and NewSystemPooled remain as thin deprecated wrappers). Run
+// snapshot, core.WithWarmupHook observes the warmup/measure boundary. Run
 // identity is core.Config.Fingerprint(): a canonical hash over every
 // exported field (reflection-walked, so new fields cannot be silently
 // omitted) after normalizing derived fields. experiments.Runner deduplicates on that

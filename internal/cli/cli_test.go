@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"flag"
+	"io"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestFlagGroupsParse pins the shared flag surface: names, defaults and
+// the Options assembly, including opening the result store for -store.
+func TestFlagGroupsParse(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	sc := ScaleFlags(fs, 80_000, 60_000, 2)
+	rn := RunnerFlags(fs)
+	pf := ProfilingFlags(fs, "the run")
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := fs.Parse([]string{
+		"-warmup", "1000", "-measure", "2000", "-cores", "3", "-seed", "7",
+		"-benchmarks", "mcf,sp", "-parallelism", "2", "-share-warmup",
+		"-store", dir,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := rn.Options(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Warmup != 1000 || opts.Measure != 2000 || opts.Cores != 3 || opts.Seed != 7 {
+		t.Fatalf("scale flags not threaded into Options: %+v", opts)
+	}
+	if !reflect.DeepEqual(opts.Benchmarks, []string{"mcf", "sp"}) {
+		t.Fatalf("benchmarks = %v", opts.Benchmarks)
+	}
+	if opts.Parallelism != 2 || !opts.ShareWarmup {
+		t.Fatalf("runner flags not threaded into Options: %+v", opts)
+	}
+	if opts.Store == nil {
+		t.Fatal("-store did not open a result store")
+	}
+	if pf.CPU != "" || pf.Mem != "" {
+		t.Fatalf("profiling flags defaulted on: %+v", pf)
+	}
+}
+
+// TestFlagGroupDefaults: per-command defaults land, the store stays off,
+// and the benchmark subset stays nil (meaning "all").
+func TestFlagGroupDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sc := ScaleFlags(fs, 60_000, 50_000, 4)
+	rn := RunnerFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := rn.Options(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Warmup != 60_000 || opts.Measure != 50_000 || opts.Cores != 4 || opts.Seed != 42 {
+		t.Fatalf("defaults not honored: %+v", opts)
+	}
+	if opts.Benchmarks != nil || opts.Store != nil {
+		t.Fatalf("optional knobs defaulted on: %+v", opts)
+	}
+}

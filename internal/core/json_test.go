@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestConfigJSONRoundTripPreservesFingerprint holds the canonical-form
+// contract against the fingerprint reflection walk: for the default config
+// and for every single-leaf perturbation of it (the same enumeration
+// TestFingerprintCoversEveryField uses, so a newly added field is covered
+// automatically), marshal → unmarshal must land on a config with the same
+// Fingerprint, and re-marshaling must be byte-identical (the encoding is
+// canonical, not merely equivalent).
+func TestConfigJSONRoundTripPreservesFingerprint(t *testing.T) {
+	base := DefaultConfig()
+	var leaves []leafField
+	collectLeaves(t, reflect.TypeOf(base), "Config", nil, &leaves)
+
+	variants := []Config{base}
+	for _, lf := range leaves {
+		if lf.path == "Config.Scheme" {
+			// perturb's +1 would leave the enum's valid range, which the
+			// marshaler rightly rejects; cover every other scheme instead.
+			for _, s := range Schemes() {
+				if s != base.Scheme {
+					v := base
+					v.Scheme = s
+					variants = append(variants, v)
+				}
+			}
+			continue
+		}
+		variants = append(variants, perturb(t, base, lf))
+	}
+	for i, cfg := range variants {
+		enc, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatalf("variant %d: marshal: %v", i, err)
+		}
+		var back Config
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("variant %d: unmarshal: %v", i, err)
+		}
+		if got, want := back.Fingerprint(), cfg.Fingerprint(); got != want {
+			t.Errorf("variant %d: fingerprint drifted across JSON round-trip:\n got %s\nwant %s\n%s", i, got, want, enc)
+		}
+		re, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("variant %d: re-marshal: %v", i, err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Errorf("variant %d: encoding not canonical:\n first %s\nsecond %s", i, enc, re)
+		}
+	}
+}
+
+// TestConfigJSONSchemeIsNamed pins the external schema: schemes travel as
+// their canonical lowercase names, not iota values.
+func TestConfigJSONSchemeIsNamed(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = IFAM
+	enc, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte(`"Scheme":"i-fam"`)) {
+		t.Fatalf("scheme not encoded by name: %s", enc)
+	}
+	for _, s := range Schemes() {
+		if got, err := ParseScheme(s.Name()); err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", s.Name(), got, err, s)
+		}
+		if got, err := ParseScheme(s.String()); err != nil || got != s {
+			t.Errorf("ParseScheme(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	var bad Config
+	if err := json.Unmarshal([]byte(`{"Scheme":"fam-e"}`), &bad); err == nil {
+		t.Fatal("unknown scheme name accepted")
+	}
+}
+
+// TestConfigJSONSparseOverlay pins the serve-API decode mode: absent fields
+// keep the target's values, so a sparse request overlays DefaultConfig.
+func TestConfigJSONSparseOverlay(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := json.Unmarshal([]byte(`{"Benchmark":"dc","Scheme":"e-fam","Seed":7}`), &cfg); err != nil {
+		t.Fatal(err)
+	}
+	want := DefaultConfig()
+	want.Benchmark, want.Scheme, want.Seed = "dc", EFAM, 7
+	if cfg.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("sparse overlay drifted: got %+v", cfg)
+	}
+}
+
+// TestConfigJSONStrict: misspelled fields and trailing garbage must be
+// rejected, not silently dropped — in the HTTP API a dropped field would
+// simulate the wrong system under the wrong identity.
+func TestConfigJSONStrict(t *testing.T) {
+	var cfg Config
+	if err := json.Unmarshal([]byte(`{"Benchmrak":"dc"}`), &cfg); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := cfg.UnmarshalJSON([]byte(`{"Seed":1} {"Seed":2}`)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+// TestResultJSONRoundTrip holds the store's byte-identity requirement end
+// to end on a real multi-tenant run: the Result — histograms included —
+// must round-trip through JSON to a deeply equal value with a
+// byte-identical re-encoding.
+func TestResultJSONRoundTrip(t *testing.T) {
+	cfg := quickConfig(DeACTN, "mcf")
+	cfg.Tenants = 2
+	cfg.WarmupInstructions, cfg.MeasureInstructions = 5_000, 5_000
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := res.TenantLatency(1); lat.FAM.Count() == 0 {
+		t.Fatal("test run recorded no tenant-1 FAM samples; histogram round-trip untested")
+	}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, back) {
+		t.Fatalf("result did not round-trip:\n got %+v\nwant %+v", back, res)
+	}
+	re, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc, re) {
+		t.Fatal("result encoding not canonical across a round-trip")
+	}
+	if !strings.Contains(string(enc), `"Scheme":"deact-n"`) {
+		t.Fatalf("result scheme not encoded by name: %.120s", enc)
+	}
+}

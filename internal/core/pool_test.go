@@ -68,24 +68,25 @@ func TestNilPoolIsValid(t *testing.T) {
 	s.Recycle(nil) // no-op, must not panic
 }
 
-// TestDeprecatedWrappersStillWork keeps the one-more-release compatibility
-// promise on RunPooled/NewSystemPooled: they must behave exactly like the
-// options form they delegate to. (Nothing else in-repo uses them.)
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// TestOptionsFormIsTheOnlyAPI is the compile-time guard left behind by the
+// removal of the deprecated RunPooled/NewSystemPooled wrappers: the options
+// form covers both the run and construct paths, a nil pool means "allocate
+// fresh", and pooled runs are bit-identical to plain ones.
+func TestOptionsFormIsTheOnlyAPI(t *testing.T) {
 	ctx := context.Background()
 	cfg := poolTestConfig(DeACTN, "mcf")
 	want, err := Run(ctx, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := RunPooled(ctx, cfg, nil)
+	got, err := Run(ctx, cfg, WithPool(NewSystemPool()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatal("RunPooled diverged from Run(WithPool)")
+		t.Fatal("Run(WithPool) diverged from Run")
 	}
-	if _, err := NewSystemPooled(cfg, nil); err != nil {
+	if _, err := NewSystem(cfg, WithPool(nil)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -108,14 +108,6 @@ func NewSystem(cfg Config, opts ...RunOption) (*System, error) {
 	return newSystem(cfg, o)
 }
 
-// NewSystemPooled builds a system drawing its large backing arrays from
-// pool.
-//
-// Deprecated: use NewSystem(cfg, WithPool(pool)).
-func NewSystemPooled(cfg Config, pool *SystemPool) (*System, error) {
-	return NewSystem(cfg, WithPool(pool))
-}
-
 func newSystem(cfg Config, o runOptions) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -368,11 +360,4 @@ func Run(ctx context.Context, cfg Config, opts ...RunOption) (Result, error) {
 	// forgets the in-flight buffers.
 	s.Recycle(o.pool)
 	return res, err
-}
-
-// RunPooled runs with construction memory drawn from and recycled to pool.
-//
-// Deprecated: use Run(ctx, cfg, WithPool(pool)).
-func RunPooled(ctx context.Context, cfg Config, pool *SystemPool) (Result, error) {
-	return Run(ctx, cfg, WithPool(pool))
 }

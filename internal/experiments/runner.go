@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"deact/internal/core"
+	"deact/internal/resultstore"
 	"deact/internal/sim"
 	"deact/internal/stats"
 	"deact/internal/workload"
@@ -76,6 +77,16 @@ type Options struct {
 	// sweep point (clamped to the point's node count). 0 derives one
 	// shard per two nodes, min 1.
 	BrokerShards int
+	// Store, if set, backs the runner with a persistent content-addressed
+	// result cache: a submitted config whose result is already stored is
+	// answered from disk immediately — without taking a worker slot or
+	// simulating — and every distinct simulation that completes is
+	// persisted for future runners. Stored results are byte-identical to
+	// simulated ones (the store round-trips the canonical Result encoding
+	// exactly), so report and sweep output is unchanged by a store, warm
+	// or cold. Persist failures are swallowed: the store is a cache, and
+	// a failed write only costs a future miss.
+	Store *resultstore.Store
 }
 
 // RunInfo describes one completed distinct simulation for the OnRunDone
@@ -86,6 +97,9 @@ type RunInfo struct {
 	Fingerprint string
 	// Err is the simulation error, if any.
 	Err error
+	// Cached reports that the result was served from Options.Store
+	// without simulating (it still counts toward Completed).
+	Cached bool
 	// Completed and Submitted are the runner-wide counters at the moment
 	// this run finished: distinct simulations done vs registered so far.
 	Completed, Submitted int
@@ -300,20 +314,29 @@ func (f *Future) release() {
 // acquisition first (admission stops on cancellation), then core.Run.
 func (r *Runner) execute(ectx context.Context, e *runEntry) {
 	defer r.wg.Done()
-	res, err := r.compute(ectx, e.cfg)
-	r.finish(e, res, err)
+	res, cached, err := r.compute(ectx, e.cfg)
+	r.finish(e, res, cached, err)
 }
 
 // compute acquires a worker slot and runs the simulation. A panic anywhere
 // in the path is converted to an error for this and every deduplicated
 // waiter, and the slot is released via defer, so a panicking run can
 // neither leak a pool slot nor leave waiters blocked forever.
-func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result, err error) {
+//
+// With a Store configured, the persisted result — when present — is
+// returned before any of that machinery engages: no warmup group, no
+// worker slot, no simulation. cached reports that path.
+func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result, cached bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("experiments: %s under %v: panic: %v", cfg.Benchmark, cfg.Scheme, p)
 		}
 	}()
+	if r.opts.Store != nil {
+		if hit, ok := r.opts.Store.Get(cfg); ok {
+			return hit, true, nil
+		}
+	}
 	var opts []core.RunOption
 	if r.opts.ShareWarmup && cfg.WarmupInstructions > 0 {
 		key := cfg.WarmupFingerprint()
@@ -340,7 +363,7 @@ func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result
 			select {
 			case <-g.ready:
 			case <-ectx.Done():
-				return core.Result{}, ectx.Err()
+				return core.Result{}, false, ectx.Err()
 			}
 			if g.snap != nil {
 				opts = append(opts, core.WithSnapshot(g.snap))
@@ -351,7 +374,7 @@ func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result
 	select {
 	case pool = <-r.sem: // acquire a worker slot (and its memory pool)
 	case <-ectx.Done():
-		return core.Result{}, ectx.Err()
+		return core.Result{}, false, ectx.Err()
 	}
 	if pool == nil {
 		pool = core.NewSystemPool()
@@ -361,7 +384,12 @@ func (r *Runner) compute(ectx context.Context, cfg core.Config) (res core.Result
 	if err != nil && !isCancellation(err) {
 		err = fmt.Errorf("experiments: %s under %v [cfg %s]: %w", cfg.Benchmark, cfg.Scheme, cfg.Fingerprint()[:8], err)
 	}
-	return res, err
+	if err == nil && r.opts.Store != nil {
+		// Best-effort persistence: a failed write costs a future miss,
+		// nothing else, and must not fail a simulation that succeeded.
+		_ = r.opts.Store.Put(cfg, res)
+	}
+	return res, false, err
 }
 
 // attachWarmGroup joins (or founds) the warmup group for key. The founder
@@ -457,7 +485,7 @@ func (r *Runner) evictWarmLocked() {
 // (it nests outside r.mu and is touched nowhere else), so two
 // concurrently finishing runs deliver their RunInfos in counter order —
 // the progress line can never count backwards.
-func (r *Runner) finish(e *runEntry, res core.Result, err error) {
+func (r *Runner) finish(e *runEntry, res core.Result, cached bool, err error) {
 	cancelled := isCancellation(err)
 	r.cbMu.Lock()
 	r.mu.Lock()
@@ -473,7 +501,7 @@ func (r *Runner) finish(e *runEntry, res core.Result, err error) {
 	} else {
 		r.completed++
 	}
-	info := RunInfo{Config: e.cfg, Fingerprint: e.fp, Err: err,
+	info := RunInfo{Config: e.cfg, Fingerprint: e.fp, Err: err, Cached: cached,
 		Completed: r.completed, Submitted: r.submitted}
 	cb := r.opts.OnRunDone
 	r.mu.Unlock()

@@ -15,7 +15,9 @@
 package node
 
 import (
+	"encoding/json"
 	"fmt"
+	"strings"
 
 	"deact/internal/acm"
 	"deact/internal/addr"
@@ -66,6 +68,65 @@ func (s Scheme) String() string {
 
 // UsesDeACT reports whether the scheme runs the decoupled translator path.
 func (s Scheme) UsesDeACT() bool { return s == DeACTW || s == DeACTN }
+
+// Name returns the canonical lowercase spelling used by flags and the JSON
+// API ("e-fam", "i-fam", "deact-w", "deact-n").
+func (s Scheme) Name() string {
+	switch s {
+	case EFAM:
+		return "e-fam"
+	case IFAM:
+		return "i-fam"
+	case DeACTW:
+		return "deact-w"
+	case DeACTN:
+		return "deact-n"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme parses a scheme name: the canonical lowercase spellings, the
+// display spellings (case-insensitive), the dash-free contractions, and
+// "deact" for DeACT-N.
+func ParseScheme(s string) (Scheme, error) {
+	switch strings.ToLower(s) {
+	case "e-fam", "efam":
+		return EFAM, nil
+	case "i-fam", "ifam":
+		return IFAM, nil
+	case "deact-w", "deactw":
+		return DeACTW, nil
+	case "deact-n", "deactn", "deact":
+		return DeACTN, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q (want e-fam, i-fam, deact-w or deact-n)", s)
+	}
+}
+
+// MarshalJSON encodes the scheme as its canonical name, so the on-disk
+// result store and the serve API share one human-readable schema instead of
+// leaking iota values.
+func (s Scheme) MarshalJSON() ([]byte, error) {
+	if s < EFAM || s > DeACTN {
+		return nil, fmt.Errorf("node: cannot marshal invalid %v", s)
+	}
+	return json.Marshal(s.Name())
+}
+
+// UnmarshalJSON accepts any spelling ParseScheme does.
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return fmt.Errorf("node: scheme must be a JSON string: %w", err)
+	}
+	parsed, err := ParseScheme(name)
+	if err != nil {
+		return fmt.Errorf("node: %w", err)
+	}
+	*s = parsed
+	return nil
+}
 
 // Config describes one node. Zero-valued latency fields are allowed (they
 // model fully pipelined stages).

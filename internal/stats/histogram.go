@@ -1,6 +1,10 @@
 package stats
 
-import "math/bits"
+import (
+	"encoding/json"
+	"fmt"
+	"math/bits"
+)
 
 // HistBuckets is the fixed bucket count of Histogram. Bucket 0 holds the
 // value 0 and bucket i≥1 holds [2^(i-1), 2^i). 47 doublings cover
@@ -143,6 +147,60 @@ func (h *Histogram) Quantile(q float64) float64 {
 func (h *Histogram) P50() float64 { return h.Quantile(0.50) }
 func (h *Histogram) P95() float64 { return h.Quantile(0.95) }
 func (h *Histogram) P99() float64 { return h.Quantile(0.99) }
+
+// histJSON is the canonical wire form of a Histogram: the non-zero buckets
+// as ascending [bucket, count] pairs plus the sample count and sum. Sparse
+// pairs keep entries small (most tenant slots of a run are empty) while the
+// fixed emission order keeps the encoding deterministic — the persistent
+// result store byte-compares encodings to detect drift.
+type histJSON struct {
+	N      uint64      `json:"N,omitempty"`
+	Sum    uint64      `json:"Sum,omitempty"`
+	Counts [][2]uint64 `json:"Counts,omitempty"`
+}
+
+// MarshalJSON encodes the histogram's exact state; an empty histogram
+// encodes as {}. The encoding round-trips bit-exactly through
+// UnmarshalJSON.
+func (h Histogram) MarshalJSON() ([]byte, error) {
+	j := histJSON{N: h.n, Sum: h.sum}
+	for i, c := range h.counts {
+		if c != 0 {
+			j.Counts = append(j.Counts, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes a MarshalJSON encoding, rejecting states no
+// sequence of Record calls can produce (out-of-range buckets, bucket counts
+// that do not sum to N), so a corrupted store entry fails decoding instead
+// of resurfacing as an impossible distribution.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var j histJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	var d Histogram
+	var total uint64
+	for _, bc := range j.Counts {
+		i, c := bc[0], bc[1]
+		if i >= HistBuckets {
+			return fmt.Errorf("stats: histogram bucket %d out of range", i)
+		}
+		if d.counts[i] != 0 {
+			return fmt.Errorf("stats: histogram bucket %d repeated", i)
+		}
+		d.counts[i] = c
+		total += c
+	}
+	if total != j.N {
+		return fmt.Errorf("stats: histogram bucket counts sum to %d, want N=%d", total, j.N)
+	}
+	d.n, d.sum = j.N, j.Sum
+	*h = d
+	return nil
+}
 
 // HistogramState is the captured state of a Histogram. Histograms are plain
 // values, so capture and restore are value copies; the type exists so

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestHistogramJSONRoundTrip: random sample sets must round-trip to an
+// identical histogram with a byte-identical re-encoding, and the empty
+// histogram must encode as {}.
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			h.Record(uint64(rng.Int63()) >> uint(rng.Intn(60)))
+		}
+		enc, err := json.Marshal(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Histogram
+		if err := json.Unmarshal(enc, &back); err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, enc)
+		}
+		if !reflect.DeepEqual(h, back) {
+			t.Fatalf("trial %d: round-trip diverged", trial)
+		}
+		re, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("trial %d: encoding not canonical: %s vs %s", trial, enc, re)
+		}
+	}
+	empty, err := json.Marshal(Histogram{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "{}" {
+		t.Fatalf("empty histogram encodes as %s, want {}", empty)
+	}
+}
+
+// TestHistogramJSONRejectsImpossibleStates: decodings no Record sequence
+// can produce must fail, so corrupted store entries surface as decode
+// errors (→ cache misses), not impossible distributions.
+func TestHistogramJSONRejectsImpossibleStates(t *testing.T) {
+	for _, bad := range []string{
+		`{"N":1,"Sum":4,"Counts":[[99,1]]}`,      // bucket out of range
+		`{"N":3,"Sum":4,"Counts":[[2,1]]}`,       // counts do not sum to N
+		`{"N":2,"Sum":4,"Counts":[[2,1],[2,1]]}`, // repeated bucket
+		`[4]`,                                    // wrong shape entirely
+	} {
+		var h Histogram
+		if err := json.Unmarshal([]byte(bad), &h); err == nil {
+			t.Errorf("impossible state accepted: %s", bad)
+		}
+	}
+}
