@@ -112,11 +112,20 @@ func (p *Profiling) Start(cmd string) (stop func(), err error) {
 func (p *Profiling) WriteHeap() error { return profiling.WriteHeap(p.Mem) }
 
 // ProgressPrinter returns an OnRunDone hook that keeps one live
-// completed/total line on w (the runner serializes calls). Store hits
-// count like any completed run, so a warm sweep's line snaps to done.
+// completed/total line on w (the runner serializes calls). Runs answered
+// from the persistent result store count like any completed run and are
+// additionally surfaced as a running "(N cached)" tally, so a warm
+// sweep's line shows where its speed came from.
 func ProgressPrinter(w io.Writer) func(experiments.RunInfo) {
+	cached := 0
 	return func(ri experiments.RunInfo) {
+		if ri.Cached {
+			cached++
+		}
 		fmt.Fprintf(w, "\rruns: %d/%d completed", ri.Completed, ri.Submitted)
+		if cached > 0 {
+			fmt.Fprintf(w, " (%d cached)", cached)
+		}
 		if ri.Completed == ri.Submitted {
 			fmt.Fprint(w, " ")
 		}

@@ -5,7 +5,10 @@ import (
 	"io"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
+
+	"deact/internal/experiments"
 )
 
 // TestFlagGroupsParse pins the shared flag surface: names, defaults and
@@ -63,5 +66,33 @@ func TestFlagGroupDefaults(t *testing.T) {
 	}
 	if opts.Benchmarks != nil || opts.Store != nil {
 		t.Fatalf("optional knobs defaulted on: %+v", opts)
+	}
+}
+
+// TestProgressPrinterCached: the progress line surfaces a running cached
+// tally once any run is served from the store, and stays silent before.
+func TestProgressPrinterCached(t *testing.T) {
+	var buf strings.Builder
+	p := ProgressPrinter(&buf)
+
+	p(experiments.RunInfo{Completed: 1, Submitted: 3})
+	if got := buf.String(); strings.Contains(got, "cached") {
+		t.Fatalf("cached tally shown before any cached run: %q", got)
+	}
+	if !strings.Contains(buf.String(), "runs: 1/3 completed") {
+		t.Fatalf("progress line missing: %q", buf.String())
+	}
+
+	buf.Reset()
+	p(experiments.RunInfo{Completed: 2, Submitted: 3, Cached: true})
+	if got := buf.String(); !strings.Contains(got, "runs: 2/3 completed (1 cached)") {
+		t.Fatalf("cached tally missing: %q", got)
+	}
+
+	// The tally is cumulative and persists on later uncached updates.
+	buf.Reset()
+	p(experiments.RunInfo{Completed: 3, Submitted: 3})
+	if got := buf.String(); !strings.Contains(got, "runs: 3/3 completed (1 cached)") {
+		t.Fatalf("cumulative tally wrong: %q", got)
 	}
 }

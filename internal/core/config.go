@@ -123,6 +123,37 @@ type Config struct {
 	// skip access control (per-node encryption keys make stolen reads
 	// useless ciphertext). The read-trust ablation flips this.
 	TrustReads bool
+
+	// Pattern overrides the benchmark profile's access-pattern generator:
+	// "" (or "skew") keeps the default probabilistic skew model;
+	// "pointer-chase", "graph-frontier" and "stencil" select the workload
+	// v2 structured generators (workload.Patterns), which keep the
+	// benchmark's footprint, intensity and write mix but impose their own
+	// access structure.
+	Pattern string
+	// PatternDegree is the selected pattern's parallelism dial (payload
+	// blocks per chase node / mean out-degree / stencil stream count;
+	// units are accesses, not bytes). 0 uses the pattern's default;
+	// requires a non-empty Pattern.
+	PatternDegree int
+
+	// PrefetchStreams enables the node-side PC-keyed stream prefetcher
+	// with this many tracked PC entries (rounded up to a power of two).
+	// 0 disables the prefetcher entirely — the default, and bit-identical
+	// to builds without the feature.
+	PrefetchStreams int
+	// PrefetchDegree is blocks fetched ahead per confirmed-stream trigger
+	// (64B blocks; 0 → default 2).
+	PrefetchDegree int
+	// PrefetchThreshold is the consecutive same-delta accesses a PC needs
+	// before its stream is confirmed (0 → default 2).
+	PrefetchThreshold int
+
+	// TraceID pins this run to a recorded access trace: it must equal the
+	// trace.Trace ID supplied via core.WithTrace, and it gives replay runs
+	// their own fingerprint (cache/dedup/snapshot identity) per trace.
+	// Empty for synthesized runs.
+	TraceID string
 }
 
 // DefaultConfig returns the Table II system, scaled for tractable runs.
@@ -230,6 +261,20 @@ func (c Config) Validate() error {
 			return fmt.Errorf("%w: NoisyBenchmark: %w", ErrInvalidConfig, err)
 		}
 	}
+	switch {
+	case !workload.ValidPattern(c.Pattern):
+		return fmt.Errorf("%w: unknown Pattern %q (have %v)", ErrInvalidConfig, c.Pattern, workload.Patterns())
+	case c.PatternDegree < 0:
+		return fmt.Errorf("%w: PatternDegree must be non-negative", ErrInvalidConfig)
+	case c.PatternDegree > 0 && c.Pattern == "":
+		return fmt.Errorf("%w: PatternDegree requires a Pattern", ErrInvalidConfig)
+	case c.PrefetchStreams < 0 || c.PrefetchDegree < 0 || c.PrefetchThreshold < 0:
+		return fmt.Errorf("%w: prefetch parameters must be non-negative", ErrInvalidConfig)
+	case (c.PrefetchDegree > 0 || c.PrefetchThreshold > 0) && c.PrefetchStreams == 0:
+		return fmt.Errorf("%w: prefetch knobs require PrefetchStreams > 0", ErrInvalidConfig)
+	case c.TraceID != "" && c.Pattern != "":
+		return fmt.Errorf("%w: TraceID and Pattern are mutually exclusive (a replay does not synthesize)", ErrInvalidConfig)
+	}
 	if err := c.Layout.Validate(); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)
 	}
@@ -300,6 +345,11 @@ func (c Config) nodeConfig(id uint16) node.Config {
 			CacheBytes:   c.TranslationCacheBytes,
 			Outstanding:  c.Outstanding,
 			TagMatchTime: c.CycleTime,
+		},
+		Prefetch: node.PrefetchConfig{
+			Streams:   c.PrefetchStreams,
+			Degree:    c.PrefetchDegree,
+			Threshold: c.PrefetchThreshold,
 		},
 		Seed: c.Seed + int64(id)*1000,
 	}

@@ -65,6 +65,7 @@ func diffNode(a, b node.Stats) node.Stats {
 		DRAMData:    a.DRAMData - b.DRAMData,
 		Writebacks:  a.Writebacks - b.Writebacks,
 		Denied:      a.Denied - b.Denied,
+		Prefetch:    a.Prefetch.Sub(b.Prefetch),
 	}
 	for i := range d.Tenants {
 		d.Tenants[i] = a.Tenants[i].Sub(b.Tenants[i])

@@ -12,6 +12,7 @@ import (
 	"deact/internal/node"
 	"deact/internal/sim"
 	"deact/internal/stu"
+	"deact/internal/trace"
 	"deact/internal/translator"
 	"deact/internal/workload"
 )
@@ -56,6 +57,8 @@ type runOptions struct {
 	pool        *SystemPool
 	snap        *Snapshot
 	afterWarmup func(*System)
+	trace       *trace.Trace
+	recorder    *trace.Recorder
 }
 
 // WithPool draws the system's large backing arrays from pool (nil allocates
@@ -81,6 +84,24 @@ func WithSnapshot(snap *Snapshot) RunOption {
 // Runner uses it to capture the shared warmup prefix once per sweep group.
 func WithWarmupHook(fn func(*System)) RunOption {
 	return func(o *runOptions) { o.afterWarmup = fn }
+}
+
+// WithTrace replays t instead of synthesizing workloads: core i consumes
+// trace stream i verbatim (tenant tags re-stamped from cfg). The config
+// must carry cfg.TraceID == t.ID() — replay runs fingerprint per trace —
+// and the trace must have exactly Nodes×CoresPerNode streams. Replay
+// sources are snapshot/fork-compatible, so WithSnapshot and the shared
+// warmup path compose with replay.
+func WithTrace(t *trace.Trace) RunOption {
+	return func(o *runOptions) { o.trace = t }
+}
+
+// WithTraceRecorder taps every core's workload source so rec captures the
+// exact Op stream the run consumed (stream i = global core i). Recording
+// changes nothing about the run itself; encode or save rec afterwards. A
+// recording run cannot be snapshotted or replayed at the same time.
+func WithTraceRecorder(rec *trace.Recorder) RunOption {
+	return func(o *runOptions) { o.recorder = rec }
 }
 
 // System is one fully assembled FAM system: a shared broker, fabric and
@@ -126,6 +147,24 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 	}
 	a := o.pool.arenaOf()
 
+	totalCores := cfg.Nodes * cfg.CoresPerNode
+	switch {
+	case o.trace != nil && o.recorder != nil:
+		return nil, fmt.Errorf("core: cannot record and replay a trace in the same run")
+	case o.trace == nil && cfg.TraceID != "":
+		return nil, fmt.Errorf("core: Config.TraceID %q set but no trace supplied (core.WithTrace)", cfg.TraceID)
+	case o.trace != nil && cfg.TraceID == "":
+		return nil, fmt.Errorf("core: replaying a trace requires Config.TraceID = trace ID %q", o.trace.ID())
+	case o.trace != nil && cfg.TraceID != o.trace.ID():
+		return nil, fmt.Errorf("core: Config.TraceID %q does not match trace ID %q", cfg.TraceID, o.trace.ID())
+	case o.trace != nil && o.trace.Streams() != totalCores:
+		return nil, fmt.Errorf("core: trace has %d streams, run has %d cores (Nodes×CoresPerNode)",
+			o.trace.Streams(), totalCores)
+	case o.recorder != nil && o.recorder.Streams() != totalCores:
+		return nil, fmt.Errorf("core: recorder has %d streams, run has %d cores (Nodes×CoresPerNode)",
+			o.recorder.Streams(), totalCores)
+	}
+
 	s := &System{cfg: cfg, engine: sim.NewEngine(),
 		restoreFrom: o.snap, afterWarmup: o.afterWarmup}
 	s.brk, err = broker.NewShardedInArena(a, cfg.Layout, cfg.Seed, cfg.brokerShards())
@@ -148,19 +187,32 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 		var row []*cpu.Core
 		for ci := 0; ci < cfg.CoresPerNode; ci++ {
 			tenant := cfg.tenantFor(ni, ci)
-			p := prof
-			if tenant == 0 && cfg.NoisyBenchmark != "" {
-				p = noisyProf
+			globalCore := ni*cfg.CoresPerNode + ci
+			var src workload.Source
+			if o.trace != nil {
+				src = o.trace.Source(globalCore)
+			} else {
+				p := prof
+				if tenant == 0 && cfg.NoisyBenchmark != "" {
+					p = noisyProf
+				}
+				// The config-level pattern override rides on the profile; ""
+				// leaves the catalog profile untouched (the skew model).
+				p.Pattern = cfg.Pattern
+				p.PatternDegree = cfg.PatternDegree
+				src, err = workload.NewSource(p, cfg.Seed+int64(ni)*100+int64(ci))
+				if err != nil {
+					return nil, err
+				}
 			}
-			gen, err := workload.NewGenerator(p, cfg.Seed+int64(ni)*100+int64(ci))
-			if err != nil {
-				return nil, err
+			src.SetTenant(tenant)
+			if o.recorder != nil {
+				src = o.recorder.Tap(globalCore, src)
 			}
-			gen.SetTenant(tenant)
 			c, err := cpu.New(cpu.Config{
 				ID: ci, CycleTime: cfg.CycleTime, IssueWidth: cfg.IssueWidth,
 				MaxOutstanding: cfg.MaxOutstanding, Instructions: total,
-			}, gen, n.Access)
+			}, src, n.Access)
 			if err != nil {
 				return nil, err
 			}

@@ -118,7 +118,7 @@ func (w *window) reset() { w.head, w.n = 0, 0 }
 // allocations per instruction window.
 type Core struct {
 	cfg    Config
-	gen    *workload.Generator
+	gen    workload.Source
 	access AccessFunc
 	engine *sim.Engine
 
@@ -134,8 +134,9 @@ type Core struct {
 	err        error
 }
 
-// New builds a core.
-func New(cfg Config, gen *workload.Generator, access AccessFunc) (*Core, error) {
+// New builds a core driven by any workload source (generator or trace
+// replay).
+func New(cfg Config, gen workload.Source, access AccessFunc) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}

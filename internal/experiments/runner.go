@@ -67,6 +67,10 @@ type Options struct {
 	// (CapacitySweep) to Report's output. It is additive: every line the
 	// report emits without it is emitted unchanged with it.
 	Capacity bool
+	// Prefetch appends the prefetch-interaction section (PrefetchSweep)
+	// to Report's output. Additive in the same way as Capacity; emitted
+	// after the capacity section when both are on.
+	Prefetch bool
 	// SteadyBenchmark is the workload the steady tenants run in the
 	// capacity sweep ("sp" if empty).
 	SteadyBenchmark string

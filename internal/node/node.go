@@ -151,6 +151,7 @@ type Config struct {
 	DRAM       memdev.Config
 	STU        stu.Config
 	Translator translator.Config
+	Prefetch   PrefetchConfig
 
 	Seed int64
 }
@@ -164,6 +165,9 @@ func (c Config) Validate() error {
 		return fmt.Errorf("node: LocalEveryN must be positive")
 	case c.CycleTime == 0:
 		return fmt.Errorf("node: zero cycle time")
+	}
+	if err := c.Prefetch.Validate(); err != nil {
+		return err
 	}
 	return c.Layout.Validate()
 }
@@ -232,6 +236,10 @@ type Stats struct {
 	// Denied counts accesses rejected by system-level access control.
 	Denied uint64
 
+	// Prefetch counts stream-prefetcher activity (all zero when the
+	// prefetcher is disabled).
+	Prefetch PrefetchStats
+
 	// Tenants holds per-tenant latency distributions, indexed by
 	// workload.Op.Tenant. Single-tenant runs record everything under
 	// index 0.
@@ -251,6 +259,7 @@ type Node struct {
 	trans *translator.Translator
 	stuU  *stu.STU
 	osa   *osAllocator
+	pf    *prefetcher // nil when disabled
 
 	// direct is the OS/broker-known NP→FAM backing, dense over the FAM
 	// zone (index: NP page − first FAM-zone page), storing FAM page + 1 so
@@ -291,6 +300,9 @@ func NewInArena(a *arena.Arena, cfg Config, brk *broker.Broker, fab *fabric.Fabr
 		// Length 0: backWithFAM extends (zeroing) on demand, so a recycled
 		// buffer regrows to its previous high-water mark allocation-free.
 		direct: arena.Slice[addr.FPage](a, "node.direct", 0),
+	}
+	if cfg.Prefetch.Enabled() {
+		n.pf = newPrefetcher(cfg.Prefetch)
 	}
 
 	var err error
@@ -432,6 +444,9 @@ func (n *Node) Access(now sim.Time, coreID int, op workload.Op) (sim.Time, error
 		ts.Local.Record(uint64(done - t))
 	} else {
 		ts.FAM.Record(uint64(done - t))
+	}
+	if n.pf != nil {
+		n.prefetch(done, coreID, op.PC, npa)
 	}
 	return done, nil
 }

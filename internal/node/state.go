@@ -25,6 +25,7 @@ type State struct {
 	stu    stu.State
 	osa    osAllocator
 	direct []addr.FPage
+	pf     []pfEntry
 	stats  Stats
 }
 
@@ -51,6 +52,9 @@ func (n *Node) CaptureState(a *arena.Arena, st *State) {
 	}
 	st.osa = *n.osa
 	st.direct = arena.CopyInto(a, "snap.node.direct", st.direct, n.direct)
+	if n.pf != nil {
+		st.pf = arena.CopyInto(a, "snap.node.pf", st.pf, n.pf.tbl)
+	}
 	st.stats = n.stats
 }
 
@@ -75,6 +79,12 @@ func (n *Node) RestoreState(st *State) {
 	*n.osa = st.osa
 	n.direct = arena.Extend(n.direct[:0], len(st.direct))
 	copy(n.direct, st.direct)
+	if n.pf != nil {
+		if len(st.pf) != len(n.pf.tbl) {
+			panic("node: RestoreState prefetch table size mismatch")
+		}
+		copy(n.pf.tbl, st.pf)
+	}
 	n.stats = st.stats
 }
 
@@ -85,4 +95,6 @@ func (st *State) Release(a *arena.Arena) {
 	st.trans.Release(a)
 	arena.Release(a, "snap.node.direct", st.direct)
 	st.direct = nil
+	arena.Release(a, "snap.node.pf", st.pf)
+	st.pf = nil
 }

@@ -26,6 +26,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"deact/internal/addr"
 	"deact/internal/rng"
@@ -49,6 +50,30 @@ type Op struct {
 	// into node.Node, where latency is recorded per tenant. 0 in
 	// single-tenant runs.
 	Tenant uint8
+	// PC identifies the static generation site that produced this
+	// reference, standing in for the program counter of the load/store
+	// instruction. Each generator stamps a distinct constant per branch of
+	// its pattern (hot/seq/chase, per-stream, …), so the node's PC-keyed
+	// stream prefetcher sees the same stable keys a real instruction
+	// stream would provide. Stamping consumes no RNG draws. 0 means
+	// "no PC" and is never trained on.
+	PC uint64
+}
+
+// Source is a reference-stream producer a cpu.Core can drive: the skew
+// Generator, the pattern generators of this package, and trace.Replay all
+// implement it. Next must be deterministic given the source's construction
+// parameters and allocation-free in steady state. SetTenant is
+// configuration, not stream state (see Generator.SetTenant). State and
+// RestoreState capture and rewind the stream position for
+// core.System.Snapshot; a source restored into st must reproduce exactly
+// the ops a source that reached st natively would produce.
+type Source interface {
+	Next() Op
+	SetTenant(t uint8)
+	Tenant() uint8
+	State() GeneratorState
+	RestoreState(st GeneratorState)
 }
 
 // Profile characterizes one benchmark.
@@ -87,6 +112,52 @@ type Profile struct {
 	// concentrate accesses on low page numbers (temporal locality real
 	// programs exhibit); 0 or 1 means uniform.
 	SkewExp float64
+
+	// Pattern selects the generator model implementing this profile.
+	// "" (or PatternSkew) is the default probabilistic skew model;
+	// PatternPointerChase, PatternGraphFrontier and PatternStencil select
+	// the v2 structured generators, which reuse the profile's footprint,
+	// memory intensity, write fraction and stride but impose their own
+	// access structure. NewSource dispatches on this field.
+	Pattern string
+	// PatternDegree is the selected pattern's parallelism dial: payload
+	// blocks per node for pointer-chase, mean out-degree for
+	// graph-frontier, concurrent streams for stencil. 0 uses the
+	// pattern's default; ignored by the skew model.
+	PatternDegree int
+}
+
+// Pattern names accepted in Profile.Pattern (and core.Config.Pattern).
+const (
+	// PatternSkew is the default probabilistic model; equivalent to "".
+	PatternSkew = "skew"
+	// PatternPointerChase walks a deterministic pointer chain: each node
+	// visit is a blocking load followed by PatternDegree-1 sequential
+	// payload blocks ("fat" list nodes), so the degree dials how much
+	// latency the core can overlap per chase step.
+	PatternPointerChase = "pointer-chase"
+	// PatternGraphFrontier scans a vertex region sequentially (blocking
+	// vertex fetch) and visits a skewed burst of edge-region blocks per
+	// vertex; PatternDegree is the mean out-degree.
+	PatternGraphFrontier = "graph-frontier"
+	// PatternStencil interleaves PatternDegree strided streams at fixed
+	// offsets (the last stream writes), the most prefetch-friendly
+	// pattern in the catalog.
+	PatternStencil = "stencil"
+)
+
+// Patterns returns the valid non-empty Pattern names.
+func Patterns() []string {
+	return []string{PatternSkew, PatternPointerChase, PatternGraphFrontier, PatternStencil}
+}
+
+// ValidPattern reports whether s names a known pattern ("" included).
+func ValidPattern(s string) bool {
+	switch s {
+	case "", PatternSkew, PatternPointerChase, PatternGraphFrontier, PatternStencil:
+		return true
+	}
+	return false
 }
 
 // Validate checks profile consistency.
@@ -104,9 +175,17 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("workload %s: WriteProb %f invalid", p.Name, p.WriteProb)
 	case p.HotProb > 0 && p.HotPages == 0:
 		return fmt.Errorf("workload %s: HotProb without HotPages", p.Name)
+	case !ValidPattern(p.Pattern):
+		return fmt.Errorf("workload %s: unknown pattern %q (have %v)", p.Name, p.Pattern, Patterns())
+	case p.PatternDegree < 0 || p.PatternDegree > maxPatternDegree:
+		return fmt.Errorf("workload %s: PatternDegree %d out of [0,%d]", p.Name, p.PatternDegree, maxPatternDegree)
 	}
 	return nil
 }
+
+// maxPatternDegree bounds PatternDegree; it keeps the per-stream PC space
+// of the stencil pattern dense and the per-vertex edge bursts sane.
+const maxPatternDegree = 256
 
 // vbase is the virtual base address of every generated working set.
 const vbase addr.VAddr = 0x10_0000_0000
@@ -172,13 +251,18 @@ func (g *Generator) Tenant() uint8 { return g.tenant }
 // uint64n returns a uniform value in [0, n) without modulo bias. Powers of
 // two take one masked draw; other bounds reject the (at most n-1 values
 // of the) biased tail, so the expected cost is still one draw.
-func (g *Generator) uint64n(n uint64) uint64 {
+func (g *Generator) uint64n(n uint64) uint64 { return uint64n(g.rng, n) }
+
+// uint64n is the shared unbiased bounded draw used by every generator in
+// this package; the algorithm (and therefore the draw sequence) is the
+// pre-v2 Generator.uint64n unchanged.
+func uint64n(r *rng.Rand, n uint64) uint64 {
 	if n&(n-1) == 0 {
-		return g.rng.Uint64() & (n - 1)
+		return r.Uint64() & (n - 1)
 	}
 	limit := ^uint64(0) - ^uint64(0)%n // largest multiple of n ≤ 2^64
 	for {
-		if v := g.rng.Uint64(); v < limit {
+		if v := r.Uint64(); v < limit {
 			return v % n
 		}
 	}
@@ -201,6 +285,24 @@ func (g *Generator) skewedBlock() uint64 {
 	return page*blocksPerPage + g.uint64n(blocksPerPage)
 }
 
+// Generation-site PC constants. Each static branch that can emit a memory
+// reference gets its own value (16 bytes apart, like instructions in a
+// small loop body), so the prefetcher's PC-indexed table separates the
+// patterns the way it would separate real load instructions. Stamping is
+// pure: no RNG draws, so tagged streams are draw-identical to PR-8 ones.
+const (
+	pcBase        uint64 = 0x0040_0000
+	pcSkewHot            = pcBase + 0x10
+	pcSkewSeq            = pcBase + 0x20
+	pcSkewChase          = pcBase + 0x30
+	pcSkewRand           = pcBase + 0x40
+	pcChasePtr           = pcBase + 0x100
+	pcChaseBody          = pcBase + 0x110
+	pcVertex             = pcBase + 0x200
+	pcEdge               = pcBase + 0x210
+	pcStencilBase        = pcBase + 0x1000 // + 16·stream
+)
+
 // Next produces the next instruction window.
 func (g *Generator) Next() Op {
 	g.ops++
@@ -212,16 +314,20 @@ func (g *Generator) Next() Op {
 
 	var block uint64
 	blocking := false
+	pc := pcSkewRand
 	r := g.rng.Float64()
 	switch {
 	case r < g.p.HotProb:
 		block = g.uint64n(g.hotBlocks)
+		pc = pcSkewHot
 	case r < g.p.HotProb+g.p.SeqProb:
 		g.cursor = (g.cursor + uint64(g.p.StrideBlocks)) % g.fpBlocks
 		block = g.cursor
+		pc = pcSkewSeq
 	case r < g.p.HotProb+g.p.SeqProb+g.p.ChaseProb:
 		block = g.skewedBlock()
 		blocking = true
+		pc = pcSkewChase
 	default:
 		block = g.skewedBlock()
 	}
@@ -232,17 +338,23 @@ func (g *Generator) Next() Op {
 		Write:    g.rng.Float64() < g.p.WriteProb,
 		Blocking: blocking,
 		Tenant:   g.tenant,
+		PC:       pc,
 	}
 }
 
-// GeneratorState is the mutable state of a Generator at a point in its
-// stream, captured for core.System.Snapshot. Everything else in a Generator
-// (profile, derived counts, the shared skew table) is immutable after
-// construction.
+// GeneratorState is the mutable state of a Source at a point in its
+// stream, captured for core.System.Snapshot. Everything else in a source
+// (profile, derived counts, the shared skew table, trace bytes) is
+// immutable after construction. The skew Generator uses RNG+Cursor+Ops;
+// the pattern generators and trace replay additionally store up to two
+// source-specific scalars in Aux/Aux2 (chain value, stream index,
+// delta-decoder context, …) and leave unused fields zero.
 type GeneratorState struct {
 	RNG    rng.State
 	Cursor uint64
 	Ops    uint64
+	Aux    uint64
+	Aux2   uint64
 }
 
 // State captures the generator's stream position.
@@ -258,6 +370,24 @@ func (g *Generator) RestoreState(st GeneratorState) {
 	g.ops = st.Ops
 }
 
+// NewSource builds the reference-stream source for profile p, dispatching
+// on p.Pattern: the default skew Generator for "", or one of the v2
+// pattern generators. Each core should use a distinct seed.
+func NewSource(p Profile, seed int64) (Source, error) {
+	switch p.Pattern {
+	case "", PatternSkew:
+		return NewGenerator(p, seed)
+	case PatternPointerChase:
+		return newPointerChase(p, seed)
+	case PatternGraphFrontier:
+		return newGraphFrontier(p, seed)
+	case PatternStencil:
+		return newStencil(p, seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %q (have %v)", p.Pattern, Patterns())
+	}
+}
+
 // Catalog returns the benchmark suite of Table III (plus lu, which appears
 // in the figures), keyed by short name.
 //
@@ -268,7 +398,22 @@ func (g *Generator) RestoreState(st GeneratorState) {
 // instructions exercises the same pressure ratios. Absolute MPKI therefore
 // runs higher than Table III (smaller caches thrash sooner); the ordering
 // and the AT-sensitivity split are what the figures depend on.
+//
+// The underlying table is built once; every call returns a fresh copy, so
+// callers can mutate their map (or the profiles in it) without corrupting
+// later calls.
 func Catalog() map[string]Profile {
+	base := catalog()
+	m := make(map[string]Profile, len(base))
+	for name, p := range base {
+		m[name] = p
+	}
+	return m
+}
+
+// catalog memoizes the profile table; Profile values are copied out by
+// Catalog, so the shared map is never reachable by callers.
+var catalog = sync.OnceValue(func() map[string]Profile {
 	ps := []Profile{
 		// SPEC 2006 —————————————————————————————————————————————
 		{Name: "mcf", Suite: "SPEC 2006", PaperMPKI: 73, ATSensitive: true,
@@ -323,7 +468,7 @@ func Catalog() map[string]Profile {
 		m[p.Name] = p
 	}
 	return m
-}
+})
 
 // Names returns the benchmark names in the paper's figure order.
 func Names() []string {
@@ -332,7 +477,7 @@ func Names() []string {
 
 // Get returns a catalog profile by name.
 func Get(name string) (Profile, error) {
-	p, ok := Catalog()[name]
+	p, ok := catalog()[name]
 	if !ok {
 		return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, Names())
 	}
@@ -343,7 +488,7 @@ func Get(name string) (Profile, error) {
 // geomeans of §V-D (sorted for determinism).
 func Suites() map[string][]string {
 	m := map[string][]string{}
-	for name, p := range Catalog() {
+	for name, p := range catalog() {
 		m[p.Suite] = append(m[p.Suite], name)
 	}
 	for s := range m {
