@@ -4,13 +4,19 @@
 // the median across repeated -count runs, and fails when a gated benchmark
 // regresses:
 //
-//   - time/op worse than -max-time-regress percent (default 20), or
+//   - time/op worse than the -budget percent (default 20), or
 //   - allocs/op worse at all (the hot paths are allocation-free by
 //     construction; any new steady-state allocation is a bug).
 //
 // Usage:
 //
-//	benchgate [-gate regexp] [-max-time-regress pct] base.txt head.txt
+//	benchgate [-gate regexp] [-budget pct] base.txt head.txt
+//
+// -budget is the regression budget in percent; a PR that knowingly trades
+// time for a feature raises it explicitly in its CI invocation (and says so
+// in the PR), rather than editing the gate's default. -max-time-regress is
+// the deprecated spelling of the same knob, kept for existing invocations;
+// when both are set, -budget wins.
 //
 // Only benchmarks matching -gate AND present in both files are enforced;
 // benchmarks that exist on one side only (added or removed by the PR) are
@@ -38,13 +44,22 @@ func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
 	var (
 		gate    = fs.String("gate", `^(BenchmarkEngine|BenchmarkCoreRun)\b`, "regexp selecting enforced benchmarks")
-		maxPct  = fs.Float64("max-time-regress", 20, "maximum tolerated time/op regression in percent")
+		budget  = fs.Float64("budget", 20, "time/op regression budget in percent")
+		oldPct  = fs.Float64("max-time-regress", 20, "deprecated alias for -budget (ignored when -budget is set)")
 		minRuns = fs.Int("min-samples", 1, "minimum samples per side for a benchmark to be enforced")
 	)
 	fs.Parse(args)
 	if fs.NArg() != 2 {
-		fmt.Fprintln(out, "usage: benchgate [-gate regexp] [-max-time-regress pct] base.txt head.txt")
+		fmt.Fprintln(out, "usage: benchgate [-gate regexp] [-budget pct] base.txt head.txt")
 		return 2
+	}
+	// Resolve the budget: -budget when set, else the deprecated alias, else
+	// the shared default.
+	maxPct := budget
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if !set["budget"] && set["max-time-regress"] {
+		maxPct = oldPct
 	}
 	re, err := regexp.Compile(*gate)
 	if err != nil {

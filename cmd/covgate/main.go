@@ -1,0 +1,208 @@
+// Command covgate enforces a per-package statement-coverage floor over a
+// `go test -coverprofile` output file. It groups the profile's statement
+// blocks by package, computes covered/total statements for each, prints a
+// table (plain text, or a markdown table with -md for CI job summaries),
+// and fails when a gated package falls below the floor:
+//
+//	covgate [-floor pct] [-gate regexp] [-exempt regexp] [-md] coverage.out
+//
+// Only packages matching -gate (and not -exempt) are enforced; everything
+// else is reported as advisory ("info" rows). The default gate covers the
+// simulator's internal packages — command mains are thin flag-parsing
+// shells whose error paths are exercised end-to-end by the CI smoke steps
+// instead, so holding them to the same floor would measure the wrong
+// thing. -exempt carves named exceptions out of the gate (packages whose
+// coverage comes from steps the profile cannot see) without widening the
+// gate for everything else.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// pkgCov accumulates one package's statement counts.
+type pkgCov struct {
+	total   int
+	covered int
+}
+
+func (p pkgCov) pct() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("covgate", flag.ExitOnError)
+	var (
+		floor  = fs.Float64("floor", 50, "minimum statement coverage percent per gated package")
+		gate   = fs.String("gate", `^deact/internal/`, "regexp selecting enforced packages")
+		exempt = fs.String("exempt", "", "regexp exempting packages from the gate (advisory only; empty exempts none)")
+		md     = fs.Bool("md", false, "emit a markdown table (for CI job summaries)")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(out, "usage: covgate [-floor pct] [-gate regexp] [-exempt regexp] [-md] coverage.out")
+		return 2
+	}
+	re, err := regexp.Compile(*gate)
+	if err != nil {
+		fmt.Fprintln(out, "covgate: bad -gate:", err)
+		return 2
+	}
+	var exemptRe *regexp.Regexp
+	if *exempt != "" {
+		if exemptRe, err = regexp.Compile(*exempt); err != nil {
+			fmt.Fprintln(out, "covgate: bad -exempt:", err)
+			return 2
+		}
+	}
+	pkgs, err := parseProfile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(out, "covgate:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintln(out, "covgate: profile contains no statement blocks — nothing enforced")
+		return 2
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if *md {
+		fmt.Fprintf(out, "| package | coverage | floor | status |\n")
+		fmt.Fprintf(out, "|---|---|---|---|\n")
+	}
+	failed := false
+	enforced := 0
+	var total pkgCov
+	for _, name := range names {
+		p := pkgs[name]
+		total.total += p.total
+		total.covered += p.covered
+		gated := re.MatchString(name) && (exemptRe == nil || !exemptRe.MatchString(name))
+		status := "info"
+		if gated {
+			enforced++
+			status = "ok"
+			if p.pct() < *floor {
+				status = "FAIL"
+				failed = true
+			}
+		}
+		if *md {
+			fmt.Fprintf(out, "| %s | %.1f%% | %s | %s |\n", name, p.pct(), floorCell(gated, *floor), status)
+		} else {
+			fmt.Fprintf(out, "%-4s %-40s %6.1f%%  (floor %s)\n", status, name, p.pct(), floorCell(gated, *floor))
+		}
+	}
+	if *md {
+		fmt.Fprintf(out, "| **total** | **%.1f%%** | | |\n", total.pct())
+	} else {
+		fmt.Fprintf(out, "     %-40s %6.1f%%\n", "total", total.pct())
+	}
+	if enforced == 0 {
+		fmt.Fprintln(out, "covgate: no package matches the gate — nothing enforced")
+		return 2
+	}
+	if failed {
+		fmt.Fprintln(out, "covgate: FAIL")
+		return 1
+	}
+	fmt.Fprintln(out, "covgate: PASS")
+	return 0
+}
+
+func floorCell(gated bool, floor float64) string {
+	if !gated {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", floor)
+}
+
+// parseProfile reads a coverprofile and aggregates statement counts by
+// package (the directory part of each block's file path). Every mode —
+// set, count, atomic — reduces to covered-vs-not per statement block.
+// With -coverpkg, `go test ./...` emits each block once per test binary
+// (count 0 in the binaries that never reach it), so blocks are first
+// deduplicated by position — covered anywhere is covered — and only then
+// aggregated.
+func parseProfile(file string) (map[string]pkgCov, error) {
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type block struct {
+		stmts   int
+		covered bool
+	}
+	blocks := map[string]block{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		// file.go:startLine.startCol,endLine.endCol numStmts count
+		colon := strings.LastIndex(line, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed block %q", file, lineNo, line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed block %q", file, lineNo, line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count: %w", file, lineNo, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count: %w", file, lineNo, err)
+		}
+		key := line[:colon] + ":" + fields[0]
+		b := blocks[key]
+		b.stmts = stmts
+		b.covered = b.covered || count > 0
+		blocks[key] = b
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	pkgs := map[string]pkgCov{}
+	for key, b := range blocks {
+		// key is file.go:range; strip the range, then the file name.
+		pkg := path.Dir(key[:strings.LastIndex(key, ":")])
+		p := pkgs[pkg]
+		p.total += b.stmts
+		if b.covered {
+			p.covered += b.stmts
+		}
+		pkgs[pkg] = p
+	}
+	return pkgs, nil
+}

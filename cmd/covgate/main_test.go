@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// profile: internal/cpu 8/10 statements covered (80%), internal/core 2/10
+// (20%), cmd/deact-sim 0/4 (0%, advisory only under the default gate).
+const sampleProfile = `mode: set
+deact/internal/cpu/cpu.go:10.2,12.3 8 1
+deact/internal/cpu/cpu.go:14.2,15.3 2 0
+deact/internal/core/run.go:20.2,21.3 2 3
+deact/internal/core/run.go:23.2,30.3 8 0
+deact/cmd/deact-sim/main.go:5.2,9.3 4 0
+`
+
+func covOut(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	var sb strings.Builder
+	code := run(args, &sb)
+	return code, sb.String()
+}
+
+func TestCovgateFloorPassAndFail(t *testing.T) {
+	p := write(t, t.TempDir(), "cover.out", sampleProfile)
+	// Floor 15: both internal packages clear it; cmd is advisory.
+	code, out := covOut(t, []string{"-floor", "15", p})
+	if code != 0 || !strings.Contains(out, "covgate: PASS") {
+		t.Fatalf("floor 15 failed (code %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "info") {
+		t.Fatalf("ungated package not reported as advisory:\n%s", out)
+	}
+	// Floor 50: internal/core's 20%% is below it.
+	code, out = covOut(t, []string{"-floor", "50", p})
+	if code != 1 || !strings.Contains(out, "covgate: FAIL") {
+		t.Fatalf("floor 50 did not fail on internal/core (code %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL deact/internal/core") {
+		t.Fatalf("failing package not named:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL deact/internal/cpu") {
+		t.Fatalf("80%%-covered package failed a 50%% floor:\n%s", out)
+	}
+}
+
+func TestCovgateGateSelectsPackages(t *testing.T) {
+	p := write(t, t.TempDir(), "cover.out", sampleProfile)
+	// Gating only cpu exempts core's 20% from a high floor.
+	code, out := covOut(t, []string{"-floor", "75", "-gate", `^deact/internal/cpu$`, p})
+	if code != 0 {
+		t.Fatalf("gated subset failed (code %d):\n%s", code, out)
+	}
+	// -exempt carves core's 20% out of the default gate.
+	code, out = covOut(t, []string{"-floor", "75", "-exempt", `^deact/internal/core$`, p})
+	if code != 0 {
+		t.Fatalf("exempted package still enforced (code %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "info deact/internal/core") {
+		t.Fatalf("exempted package not downgraded to advisory:\n%s", out)
+	}
+	// A gate matching nothing is an error, not a silent pass.
+	code, out = covOut(t, []string{"-gate", `^nomatch$`, p})
+	if code != 2 || !strings.Contains(out, "nothing enforced") {
+		t.Fatalf("empty enforcement set not an error (code %d):\n%s", code, out)
+	}
+}
+
+func TestCovgateMarkdownTable(t *testing.T) {
+	p := write(t, t.TempDir(), "cover.out", sampleProfile)
+	code, out := covOut(t, []string{"-floor", "15", "-md", p})
+	if code != 0 {
+		t.Fatalf("md mode failed (code %d):\n%s", code, out)
+	}
+	for _, want := range []string{"| package |", "| deact/internal/cpu | 80.0% |", "| **total** |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCovgateDeduplicatesCoverpkgBlocks: with -coverpkg, every test binary
+// emits every block, count 0 where it never ran. A block covered by any
+// binary is covered; repeats must not inflate the statement total.
+func TestCovgateDeduplicatesCoverpkgBlocks(t *testing.T) {
+	const dup = `mode: set
+deact/internal/cpu/cpu.go:10.2,12.3 8 0
+deact/internal/cpu/cpu.go:14.2,15.3 2 0
+deact/internal/cpu/cpu.go:10.2,12.3 8 5
+deact/internal/cpu/cpu.go:14.2,15.3 2 0
+deact/internal/cpu/cpu.go:10.2,12.3 8 0
+`
+	p := write(t, t.TempDir(), "cover.out", dup)
+	// Deduplicated: 8/10 covered = 80%. Double counting would read 8/30.
+	code, out := covOut(t, []string{"-floor", "75", p})
+	if code != 0 {
+		t.Fatalf("deduplicated 80%% failed a 75%% floor (code %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "80.0%") {
+		t.Fatalf("expected 80.0%% after dedup:\n%s", out)
+	}
+}
+
+func TestCovgateRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	empty := write(t, dir, "empty.out", "mode: set\n")
+	if code, _ := covOut(t, []string{empty}); code != 2 {
+		t.Fatal("empty profile accepted")
+	}
+	malformed := write(t, dir, "bad.out", "mode: set\nnot a block\n")
+	if code, _ := covOut(t, []string{malformed}); code != 2 {
+		t.Fatal("malformed profile accepted")
+	}
+	if code, _ := covOut(t, []string{filepath.Join(dir, "missing.out")}); code != 2 {
+		t.Fatal("missing file accepted")
+	}
+	if code, _ := covOut(t, nil); code != 2 {
+		t.Fatal("missing argument accepted")
+	}
+}

@@ -6,6 +6,7 @@
 //	deact-report -out EXPERIMENTS.md
 //	deact-report -capacity             # append the multi-tenant capacity section
 //	deact-report -prefetch             # append the prefetch-interaction section
+//	deact-report -mlp                  # append the memory-level-parallelism section
 //	deact-report -parallelism 8        # bound the simulation worker pool
 //	deact-report -store .deact-store   # serve repeat runs from the persistent result store
 //	deact-report -cpuprofile cpu.prof  # profile the hot simulation paths
@@ -52,6 +53,7 @@ func run(ctx context.Context) error {
 		out    = flag.String("out", "EXPERIMENTS.md", "output file (- for stdout)")
 		capSec = flag.Bool("capacity", false, "append the multi-tenant capacity-planning section (per-tenant p99 latency under a noisy neighbor); strictly additive to the base report")
 		pfSec  = flag.Bool("prefetch", false, "append the prefetch-interaction section (IPC vs stream-prefetch degree across workload shapes); strictly additive to the base report")
+		mlpSec = flag.Bool("mlp", false, "append the memory-level-parallelism section (IPC vs OoO scheduling-window size in ops, across workload dependence shapes); strictly additive to the base report")
 	)
 	scale := cli.ScaleFlags(flag.CommandLine, 80_000, 60_000, 2)
 	runner := cli.RunnerFlags(flag.CommandLine)
@@ -70,6 +72,7 @@ func run(ctx context.Context) error {
 	}
 	opts.Capacity = *capSec
 	opts.Prefetch = *pfSec
+	opts.MLP = *mlpSec
 	opts.OnRunDone = cli.ProgressPrinter(os.Stderr)
 
 	if err := generate(ctx, opts, *out); err != nil {

@@ -233,6 +233,16 @@ func (s *server) handleSweep(w http.ResponseWriter, req *http.Request) {
 	for i := range cfgs {
 		futures[i] = s.runner.Submit(req.Context(), cfgs[i])
 	}
+	// If the stream aborts mid-sweep (client disconnect), the unconsumed
+	// futures must still detach: a future this handler never Waits would
+	// otherwise keep its simulation attached forever, so queued points of an
+	// abandoned sweep would all run to completion. Release is idempotent, so
+	// double-detaching the ones Wait already released is free.
+	defer func() {
+		for _, f := range futures {
+			f.Release()
+		}
+	}()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
@@ -245,7 +255,7 @@ func (s *server) handleSweep(w http.ResponseWriter, req *http.Request) {
 			line.Result = &res
 		}
 		if err := enc.Encode(line); err != nil {
-			return // client went away; futures release on Wait either way
+			return // client went away; the deferred release detaches the rest
 		}
 		if flusher != nil {
 			flusher.Flush()

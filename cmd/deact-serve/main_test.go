@@ -3,12 +3,16 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"deact/internal/experiments"
 	"deact/internal/resultstore"
@@ -166,6 +170,70 @@ func TestServeSweepStreamsInOrder(t *testing.T) {
 		if !bytes.Equal(warm[i].Result, cold[i].Result) {
 			t.Errorf("warm line %d not byte-identical to the cold run", i)
 		}
+	}
+}
+
+// TestServeSweepClientDisconnectAbortsQueuedRuns pins the abandonment path
+// of /sweep: when the client disconnects mid-stream, the handler's deferred
+// releases must detach every unconsumed future, so the in-flight simulation
+// aborts at its next event-loop stride, queued points never run, and no
+// goroutine outlives the request.
+func TestServeSweepClientDisconnectAbortsQueuedRuns(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// No store; one worker slot so the later points queue behind the first,
+	// and a measured phase long enough (seconds uncancelled) that the
+	// disconnect lands mid-simulation.
+	s := newServer(experiments.Options{Warmup: 0, Measure: 5_000_000, Cores: 1, Seed: 42, Parallelism: 1})
+	ts := httptest.NewServer(s.mux())
+
+	var cfgs []string
+	for i := 0; i < 4; i++ {
+		cfgs = append(cfgs, fmt.Sprintf(`{"Benchmark":"mcf","Scheme":"deact-n","Seed":%d}`, 100+i))
+	}
+	body := `{"Configs":[` + strings.Join(cfgs, ",") + `]}`
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/sweep", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	respc := make(chan struct{})
+	go func() {
+		defer close(respc)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the first simulation start
+	cancel()                           // client disconnects mid-stream
+	<-respc
+
+	// The handler must return and the worker pool must drain promptly: the
+	// admitted run aborts at the next stride, the queued ones at admission.
+	start := time.Now()
+	ts.Close() // waits for the handler
+	s.runner.WaitIdle()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("worker pool took %v to drain after the disconnect", elapsed)
+	}
+	if completed, _ := s.runner.Progress(); completed != 0 {
+		t.Fatalf("%d queued simulations ran to completion after the client disconnected", completed)
+	}
+	// Everything the request spawned — handler, simulation goroutines,
+	// connection read loops — must be gone.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after disconnect: %d before, %d now\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	deact-sweep -sweep nodes      # Figure 16: node count
 //	deact-sweep -sweep capacity   # capacity planning: per-tenant p99 vs scale
 //	deact-sweep -sweep prefetch   # prefetch interaction: IPC vs prefetch degree
+//	deact-sweep -sweep mlp        # memory-level parallelism: IPC vs OoO window size
 //	deact-sweep -sweep nodes -cpuprofile cpu.prof -memprofile mem.prof
 //	deact-sweep -sweep stu -store .deact-store   # serve repeat points from the persistent result store
 //
@@ -61,7 +62,7 @@ func main() {
 // paths too, instead of being skipped by os.Exit.
 func run(ctx context.Context) error {
 	var (
-		sweep  = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes, capacity, prefetch")
+		sweep  = flag.String("sweep", "stu", "sweep to run: stu, assoc, acm, pairs, fabric, nodes, capacity, prefetch, mlp")
 		steady = flag.String("steady", "sp", "capacity sweep: benchmark the steady tenants run")
 		noisy  = flag.String("noisy", "canl", "capacity sweep: benchmark the noisy tenant 0 runs on every node")
 		shards = flag.Int("broker-shards", 0, "capacity sweep: FAM broker shards per point, clamped to the node count (0 = one shard per two nodes)")
@@ -76,7 +77,7 @@ func run(ctx context.Context) error {
 	// Usage errors exit 2 (before any profile is started), runtime
 	// failures exit 1 — the same convention cmd/benchgate follows.
 	switch *sweep {
-	case "stu", "assoc", "acm", "pairs", "fabric", "nodes", "capacity", "prefetch":
+	case "stu", "assoc", "acm", "pairs", "fabric", "nodes", "capacity", "prefetch", "mlp":
 	default:
 		fmt.Fprintf(os.Stderr, "deact-sweep: unknown sweep %q\n", *sweep)
 		os.Exit(2)
@@ -115,6 +116,8 @@ func run(ctx context.Context) error {
 		tbl, err = r.CapacitySweep(ctx)
 	case "prefetch":
 		tbl, err = r.PrefetchSweep(ctx)
+	case "mlp":
+		tbl, err = r.MLPSweep(ctx)
 	}
 	fmt.Fprintln(os.Stderr) // terminate the progress line
 	if err != nil {

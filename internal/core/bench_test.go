@@ -42,6 +42,31 @@ func BenchmarkCoreRun(b *testing.B) {
 	}
 }
 
+// BenchmarkCoreRunOoO is BenchmarkCoreRun under the out-of-order timing
+// model (32-entry window, 2-cycle scheduler). The OoO scheduler adds three
+// scalar fields to the core and allocates nothing per instruction:
+// allocs/op must converge to the same per-run bookkeeping floor as the
+// in-order BenchmarkCoreRun, independent of the instruction count.
+func BenchmarkCoreRunOoO(b *testing.B) {
+	for _, scheme := range []Scheme{IFAM, DeACTN} {
+		b.Run(scheme.String(), func(b *testing.B) {
+			cfg := benchRunConfig(scheme)
+			cfg.CoreModel = CoreOoO
+			cfg.WindowSize = 32
+			cfg.SchedulerLatency = 2
+			ctx := context.Background()
+			pool := NewSystemPool()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(ctx, cfg, WithPool(pool)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkSnapshotFork quantifies warmup forking: "cold" simulates the
 // full warmup+measure run, "forked" restores the shared warmup snapshot
 // and simulates only the measured phase. With a warmup 4× the measured

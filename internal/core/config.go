@@ -34,6 +34,17 @@ const (
 // Schemes lists all four in presentation order.
 func Schemes() []Scheme { return []Scheme{EFAM, IFAM, DeACTW, DeACTN} }
 
+// Core timing models for Config.CoreModel.
+const (
+	// CoreInOrder is the default issue-width + miss-window in-order model;
+	// an empty CoreModel means the same thing.
+	CoreInOrder = "in-order"
+	// CoreOoO is the out-of-order model: a WindowSize-entry scheduling
+	// window with register-style chain dependencies and a SchedulerLatency
+	// wakeup stage.
+	CoreOoO = "ooo"
+)
+
 // Config describes one simulation run. DefaultConfig mirrors Table II,
 // scaled ~16× down in capacity the same way the paper scales its own memory
 // sizes against application footprints (§IV footnote 3); all ratios
@@ -65,6 +76,24 @@ type Config struct {
 	IssueWidth int
 	// MaxOutstanding is the per-core miss window (32).
 	MaxOutstanding int
+
+	// CoreModel selects the core timing model: "" or CoreInOrder (the
+	// default, so every existing golden stands byte-for-byte) or CoreOoO.
+	// Under CoreOoO, independent references still overlap up to
+	// MaxOutstanding; dependent (pointer-chase) loads serialize through a
+	// chain register but the core issues past them up to WindowSize-1 ops
+	// deep instead of stalling.
+	CoreModel string
+	// WindowSize is the OoO scheduling window in ops (entries, ~32): how
+	// far the core runs ahead of an incomplete dependent load before
+	// stalling. Requires CoreModel == CoreOoO and must be >= 1 there; a
+	// one-entry window is bit-identical to the in-order model.
+	WindowSize int
+	// SchedulerLatency is the OoO wakeup/select stage in core cycles (2 in
+	// the MLP sweep): the delay between a chain load completing and its
+	// dependent issuing. Requires CoreModel == CoreOoO; 0 is a valid
+	// zero-latency scheduler.
+	SchedulerLatency int
 
 	// L1/L2/L3 cache latencies; hierarchy geometry below.
 	L1Lat, L2Lat, L3Lat sim.Time
@@ -240,6 +269,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("%w: MaxOutstanding must be positive", ErrInvalidConfig)
 	case c.STUEntries <= 0 || c.STUWays <= 0:
 		return fmt.Errorf("%w: STU geometry invalid", ErrInvalidConfig)
+	}
+	switch {
+	case c.CoreModel != "" && c.CoreModel != CoreInOrder && c.CoreModel != CoreOoO:
+		return fmt.Errorf("%w: unknown CoreModel %q (have %q, %q)", ErrInvalidConfig, c.CoreModel, CoreInOrder, CoreOoO)
+	case c.CoreModel == CoreOoO && c.WindowSize <= 0:
+		return fmt.Errorf("%w: CoreModel %q requires WindowSize >= 1 ops", ErrInvalidConfig, CoreOoO)
+	case c.CoreModel == CoreOoO && c.SchedulerLatency < 0:
+		return fmt.Errorf("%w: SchedulerLatency must be non-negative (cycles)", ErrInvalidConfig)
+	case c.CoreModel != CoreOoO && (c.WindowSize != 0 || c.SchedulerLatency != 0):
+		return fmt.Errorf("%w: WindowSize/SchedulerLatency require CoreModel %q", ErrInvalidConfig, CoreOoO)
 	}
 	if _, err := workload.Get(c.Benchmark); err != nil {
 		return fmt.Errorf("%w: %w", ErrInvalidConfig, err)

@@ -56,6 +56,11 @@ func (c Config) normalized() Config {
 	if c.BrokerShards == 0 {
 		c.BrokerShards = 1
 	}
+	// "" and CoreInOrder are two spellings of the default timing model;
+	// normalize so they cannot split run identity.
+	if c.CoreModel == "" {
+		c.CoreModel = CoreInOrder
+	}
 	return c
 }
 

@@ -199,6 +199,13 @@ func TestValidateSentinelErrors(t *testing.T) {
 		{"noisy-without-tenants", func(c *Config) { c.NoisyBenchmark = "canl" }},
 		{"noisy-unknown", func(c *Config) { c.Tenants, c.NoisyBenchmark = 2, "nope" }},
 		{"shards-exceed-nodes", func(c *Config) { c.Nodes, c.BrokerShards = 1, 2 }},
+		{"core-model-unknown", func(c *Config) { c.CoreModel = "speculative" }},
+		{"ooo-without-window", func(c *Config) { c.CoreModel = CoreOoO }},
+		{"ooo-negative-latency", func(c *Config) {
+			c.CoreModel, c.WindowSize, c.SchedulerLatency = CoreOoO, 8, -1
+		}},
+		{"window-without-ooo", func(c *Config) { c.WindowSize = 8 }},
+		{"latency-without-ooo", func(c *Config) { c.SchedulerLatency = 2 }},
 	}
 	for _, tc := range cases {
 		cfg := DefaultConfig()

@@ -41,7 +41,16 @@ func TestForkedRunMatchesCold(t *testing.T) {
 			cfg.MeasureInstructions = 4_000
 			cfg.Seed = prng.Int63n(1 << 30)
 			cfg.STUWays = []int{4, 8, 16}[prng.Intn(3)]
+			// Alternate timing models so snapshot forking is exercised under
+			// the OoO scheduler too (its chain state must drain at the
+			// warmup boundary for the fork to match the cold run).
 			name := cfg.Benchmark
+			if trial == 1 {
+				cfg.CoreModel = CoreOoO
+				cfg.WindowSize = []int{1, 8, 32}[prng.Intn(3)]
+				cfg.SchedulerLatency = prng.Intn(3)
+				name += "/ooo"
+			}
 			t.Run(scheme.String()+"/"+name, func(t *testing.T) {
 				cold, snap := coldAndSnapshot(t, cfg)
 				forked, err := Run(context.Background(), cfg, WithSnapshot(snap))

@@ -212,6 +212,8 @@ func newSystem(cfg Config, o runOptions) (*System, error) {
 			c, err := cpu.New(cpu.Config{
 				ID: ci, CycleTime: cfg.CycleTime, IssueWidth: cfg.IssueWidth,
 				MaxOutstanding: cfg.MaxOutstanding, Instructions: total,
+				OoO:        cfg.CoreModel == CoreOoO,
+				WindowSize: cfg.WindowSize, SchedulerLatency: cfg.SchedulerLatency,
 			}, src, n.Access)
 			if err != nil {
 				return nil, err

@@ -6,10 +6,19 @@
 // translation latency hurts exactly the way it does in the paper, while
 // streaming misses are partially hidden.
 //
+// Two timing models share the Core type. The default in-order model stalls
+// on every dependent load. The OoO model (Config.OoO) adds a small fixed
+// scheduling window and register-style chain dependencies: the core issues
+// past an incomplete dependent load up to WindowSize-1 ops deep, dependent
+// loads serialize through the chain register plus a SchedulerLatency
+// wakeup stage, and a one-entry window degenerates bit-exactly to the
+// in-order schedule.
+//
 // A Core is a self-rescheduling sim.Handler: its steady-state event chain
-// allocates nothing (the outstanding window is a fixed sorted ring), and
-// retirement order is a deterministic function of the generator stream
-// and the access latencies it observes.
+// allocates nothing (the outstanding window is a fixed sorted ring, the
+// OoO scheduler three scalar fields), and retirement order is a
+// deterministic function of the generator stream and the access latencies
+// it observes.
 package cpu
 
 import (
@@ -35,6 +44,24 @@ type Config struct {
 	MaxOutstanding int
 	// Instructions is the retirement budget for the run.
 	Instructions uint64
+
+	// OoO selects the out-of-order scheduling model: a WindowSize-entry
+	// scheduling window lets the core issue past an incomplete dependent
+	// (chain) load, while dependent loads themselves serialize through a
+	// register-style chain dependency plus the SchedulerLatency wakeup
+	// stage. Independent references keep the MaxOutstanding miss window of
+	// the in-order model. With WindowSize=1 and SchedulerLatency=0 the OoO
+	// schedule is bit-identical to the in-order one (the degeneracy oracle
+	// tests hold exactly that).
+	OoO bool
+	// WindowSize is the OoO scheduling window in ops: the core may issue
+	// at most WindowSize-1 ops beyond an incomplete dependent load before
+	// stalling until it completes. Must be >= 1 when OoO, 0 otherwise.
+	WindowSize int
+	// SchedulerLatency is the OoO wakeup/select delay in core cycles
+	// between a chain load completing and its dependent issuing. Must be
+	// >= 0 when OoO, 0 otherwise.
+	SchedulerLatency int
 }
 
 // Validate checks the configuration.
@@ -48,6 +75,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cpu: outstanding window must be positive")
 	case c.Instructions == 0:
 		return fmt.Errorf("cpu: zero instruction budget")
+	case c.OoO && c.WindowSize <= 0:
+		return fmt.Errorf("cpu: OoO scheduling window must be positive")
+	case c.OoO && c.SchedulerLatency < 0:
+		return fmt.Errorf("cpu: scheduler latency must be non-negative")
+	case !c.OoO && (c.WindowSize != 0 || c.SchedulerLatency != 0):
+		return fmt.Errorf("cpu: WindowSize/SchedulerLatency require the OoO model")
 	}
 	return nil
 }
@@ -126,6 +159,11 @@ type Core struct {
 	winMax sim.Time // latest completion ever inserted (drains are a sorted
 	// prefix, so when the window is non-empty this is its maximum)
 
+	// OoO scheduler state (zero in the in-order model and at quiescence).
+	depReady  sim.Time // completion time of the last chain load (the chain register)
+	chainPend sim.Time // completion of the chain load the core is running past; 0 = none
+	ahead     int      // ops the core may still issue before chainPend must retire
+
 	instrs     uint64
 	memOps     uint64
 	blockedOps uint64
@@ -165,7 +203,13 @@ func (c *Core) SetBudget(total uint64) {
 }
 
 // Handle implements sim.Handler: one engine dispatch is one core step.
-func (c *Core) Handle(now sim.Time) { c.step(now) }
+func (c *Core) Handle(now sim.Time) {
+	if c.cfg.OoO {
+		c.stepOoO(now)
+		return
+	}
+	c.step(now)
+}
 
 // step executes one instruction window: the compute gap, then the memory
 // reference, then schedules the next step at the time the core can proceed.
@@ -215,15 +259,107 @@ func (c *Core) step(now sim.Time) {
 	c.engine.ScheduleHandler(next, c)
 }
 
+// stepOoO is step under the out-of-order model. It is a deliberately
+// separate implementation, not a parameterization of step: the in-order
+// core is the oracle the randomized degeneracy tests compare it against,
+// which only means something if the two schedules are computed
+// independently.
+//
+// Independent references take exactly the in-order path (the
+// MaxOutstanding miss window). Dependent (chain) loads differ in two ways:
+// their issue waits for the chain register — the previous chain load's
+// completion plus the scheduler's wakeup/select latency — and the core
+// keeps issuing past them instead of stalling, up to WindowSize-1 ops
+// beyond the incomplete load, after which it stalls until the load
+// retires. A one-entry window cannot run ahead at all, which is the
+// in-order schedule.
+func (c *Core) stepOoO(now sim.Time) {
+	if c.done {
+		return
+	}
+	if c.instrs >= c.cfg.Instructions {
+		c.retire(now)
+		return
+	}
+	op := c.gen.Next()
+	c.instrs += uint64(op.Compute) + 1
+	c.memOps++
+
+	cycles := (uint64(op.Compute) + uint64(c.cfg.IssueWidth)) / uint64(c.cfg.IssueWidth)
+	issueAt := now + sim.Time(cycles)*c.cfg.CycleTime
+	if op.Blocking && c.depReady > 0 {
+		// Register-style dependency: the chain load's address comes from
+		// the register the previous chain load wrote, through the
+		// scheduler's wakeup/select stage.
+		if ready := c.depReady + sim.Time(c.cfg.SchedulerLatency)*c.cfg.CycleTime; ready > issueAt {
+			issueAt = ready
+		}
+	}
+
+	done, err := c.access(issueAt, c.cfg.ID, op)
+	if err != nil {
+		c.err = err
+		c.retire(issueAt)
+		return
+	}
+
+	next := issueAt
+	if op.Blocking {
+		c.blockedOps++
+		c.depReady = done
+		if c.cfg.WindowSize == 1 {
+			// No room to run ahead of the incomplete load: stall until the
+			// data returns — exactly the in-order schedule.
+			next = done
+			c.chainPend, c.ahead = 0, 0
+		} else {
+			c.chainPend = done
+			c.ahead = c.cfg.WindowSize - 1
+		}
+	} else {
+		// Independent reference: occupy an outstanding slot; stall only
+		// when the miss window is full (identical to the in-order model).
+		c.win.drain(issueAt)
+		if c.win.n == c.cfg.MaxOutstanding {
+			if earliest := c.win.min(); earliest > next {
+				next = earliest
+			}
+			c.win.drain(next)
+		}
+		if done > c.winMax {
+			c.winMax = done
+		}
+		c.win.insert(done)
+		// Run-ahead accounting against the pending chain load: each issued
+		// op consumes one window slot beyond it; exhausting the window
+		// stalls the core until the load retires.
+		if c.chainPend != 0 {
+			if c.chainPend <= next {
+				c.chainPend, c.ahead = 0, 0
+			} else if c.ahead--; c.ahead == 0 {
+				next = c.chainPend
+				c.chainPend = 0
+			}
+		}
+	}
+	c.engine.ScheduleHandler(next, c)
+}
+
 // retire finalizes the run at the time the last in-flight reference (or the
-// final step) completes.
+// final step) completes. Retirement drains the pipeline: the OoO chain
+// state resets to structural zero, so a retired core is quiescent under
+// either model.
 func (c *Core) retire(now sim.Time) {
 	end := now
 	if c.win.n > 0 && c.winMax > end {
 		end = c.winMax
 	}
+	if c.chainPend > end {
+		end = c.chainPend
+	}
 	c.win.reset()
 	c.winMax = 0
+	c.depReady, c.chainPend, c.ahead = 0, 0, 0
 	c.finishedAt = end
 	c.done = true
 }

@@ -71,6 +71,10 @@ type Options struct {
 	// to Report's output. Additive in the same way as Capacity; emitted
 	// after the capacity section when both are on.
 	Prefetch bool
+	// MLP appends the memory-level-parallelism section (MLPSweep) to
+	// Report's output. Additive in the same way as Capacity and Prefetch;
+	// emitted after the prefetch section when both are on.
+	MLP bool
 	// SteadyBenchmark is the workload the steady tenants run in the
 	// capacity sweep ("sp" if empty).
 	SteadyBenchmark string
@@ -294,6 +298,13 @@ func (f *Future) Wait() (core.Result, error) {
 		return core.Result{}, f.ctx.Err()
 	}
 }
+
+// Release detaches this future from its entry without waiting for the
+// result. It is the abandonment path for callers that stop consuming
+// futures mid-batch (a streaming client that disconnected): the last
+// future to detach from an unfinished computation cancels it. Safe to call
+// after Wait — detachment happens exactly once either way.
+func (f *Future) Release() { f.release() }
 
 // release detaches this future from its entry exactly once; the last
 // detaching future dooms an unfinished computation and cancels it. The
